@@ -1,0 +1,361 @@
+(* cbq-mc: command-line front-end.
+
+   Sub-commands:
+     list              show the benchmark registry
+     run               verify a registry circuit (or an .aag file) with a
+                       chosen engine
+     export            write a registry circuit as ASCII AIGER
+     quantify          quantification demo on a combinational cone *)
+
+open Cmdliner
+
+type engine =
+  | Cbq_engine
+  | Cbq_fwd
+  | Bdd_bwd
+  | Bdd_fwd
+  | Bmc_engine
+  | Induction_engine
+  | Cofactor
+  | Hybrid_engine
+
+let engine_names =
+  [
+    ("cbq", Cbq_engine);
+    ("cbq-fwd", Cbq_fwd);
+    ("bdd-bwd", Bdd_bwd);
+    ("bdd-fwd", Bdd_fwd);
+    ("bmc", Bmc_engine);
+    ("induction", Induction_engine);
+    ("cofactor", Cofactor);
+    ("hybrid", Hybrid_engine);
+  ]
+
+let load_model circuit param aag =
+  match aag with
+  | Some path -> (Netlist.Aiger.read_file path, None)
+  | None ->
+    let model, status = Circuits.Registry.build circuit param in
+    (model, Some status)
+
+let print_iterations_cbq result =
+  List.iter
+    (fun it ->
+      Format.printf "  iter %2d: frontier=%d reached=%d inputs eliminated=%d kept=%d (%.3fs)@."
+        it.Cbq.Reachability.index it.Cbq.Reachability.frontier_size
+        it.Cbq.Reachability.reached_size it.Cbq.Reachability.eliminated_inputs
+        it.Cbq.Reachability.kept_inputs it.Cbq.Reachability.seconds)
+    result.Cbq.Reachability.iterations
+
+let print_minimized model t =
+  let essential = Cbq.Trace.minimize model t in
+  Format.printf "essential inputs (every completion is a counterexample):@.";
+  Array.iteri
+    (fun k frame ->
+      Format.printf "  frame %d:" k;
+      List.iter (fun (v, b) -> Format.printf " x%d=%d" v (if b then 1 else 0)) frame;
+      Format.printf "@.")
+    essential
+
+let run_engine ?(minimize = false) engine model verbose trace_wanted =
+  match engine with
+  | Cbq_engine | Cbq_fwd ->
+    let config = { Cbq.Reachability.default with make_trace = trace_wanted } in
+    let r =
+      if engine = Cbq_fwd then Cbq.Forward.run ~config model
+      else Cbq.Reachability.run ~config model
+    in
+    Format.printf "%a@." Cbq.Reachability.pp_result r;
+    if verbose then print_iterations_cbq r;
+    (match r.Cbq.Reachability.verdict with
+    | Cbq.Reachability.Falsified { trace = Some t; _ } when trace_wanted ->
+      Format.printf "%a" (Cbq.Trace.pp model) t;
+      if minimize then print_minimized model t
+    | Cbq.Reachability.Proved -> (
+      match r.Cbq.Reachability.invariant with
+      | Some inv -> (
+        match Cbq.Certify.check model ~invariant:inv with
+        | Ok () ->
+          Format.printf "certificate: inductive invariant of %d AND nodes, independently checked@."
+            (Aig.size (Netlist.Model.aig model) inv)
+        | Error f -> Format.printf "certificate REJECTED: %a@." Cbq.Certify.pp_failure f)
+      | None -> Format.printf "certificate: none (partial quantification left residuals)@.")
+    | Cbq.Reachability.Falsified _ | Cbq.Reachability.Out_of_budget _ -> ());
+    (match r.Cbq.Reachability.verdict with
+    | Cbq.Reachability.Proved -> `Proved
+    | Cbq.Reachability.Falsified { depth; _ } -> `Falsified depth
+    | Cbq.Reachability.Out_of_budget _ -> `Undecided)
+  | Bdd_bwd | Bdd_fwd ->
+    let f = if engine = Bdd_bwd then Baselines.Bdd_mc.backward else Baselines.Bdd_mc.forward in
+    let r = f model in
+    Format.printf "%a@." Baselines.Bdd_mc.pp_result r;
+    if verbose then
+      List.iter
+        (fun it ->
+          Format.printf "  iter %2d: frontier-bdd=%d reached-bdd=%d@." it.Baselines.Bdd_mc.index
+            it.Baselines.Bdd_mc.frontier_nodes it.Baselines.Bdd_mc.reached_nodes)
+        r.Baselines.Bdd_mc.iterations;
+    (match r.Baselines.Bdd_mc.verdict with
+    | Baselines.Verdict.Proved -> `Proved
+    | Baselines.Verdict.Falsified d -> `Falsified d
+    | Baselines.Verdict.Undecided _ -> `Undecided)
+  | Bmc_engine ->
+    let r = Baselines.Bmc.run model in
+    Format.printf "%a@." Baselines.Bmc.pp_result r;
+    (match r.Baselines.Bmc.trace with
+    | Some t when trace_wanted -> Format.printf "%a" (Cbq.Trace.pp model) t
+    | Some _ | None -> ());
+    (match r.Baselines.Bmc.verdict with
+    | Baselines.Verdict.Proved -> `Proved
+    | Baselines.Verdict.Falsified d -> `Falsified d
+    | Baselines.Verdict.Undecided _ -> `Undecided)
+  | Induction_engine ->
+    let r = Baselines.Induction.run model in
+    Format.printf "%a@." Baselines.Induction.pp_result r;
+    (match r.Baselines.Induction.verdict with
+    | Baselines.Verdict.Proved -> `Proved
+    | Baselines.Verdict.Falsified d -> `Falsified d
+    | Baselines.Verdict.Undecided _ -> `Undecided)
+  | Cofactor ->
+    let r = Baselines.Cofactor_preimage.run model in
+    Format.printf "%a@." Baselines.Cofactor_preimage.pp_result r;
+    (match r.Baselines.Cofactor_preimage.verdict with
+    | Baselines.Verdict.Proved -> `Proved
+    | Baselines.Verdict.Falsified d -> `Falsified d
+    | Baselines.Verdict.Undecided _ -> `Undecided)
+  | Hybrid_engine ->
+    let r = Baselines.Hybrid.run model in
+    Format.printf "%a@." Baselines.Hybrid.pp_result r;
+    (match r.Baselines.Hybrid.verdict with
+    | Baselines.Verdict.Proved -> `Proved
+    | Baselines.Verdict.Falsified d -> `Falsified d
+    | Baselines.Verdict.Undecided _ -> `Undecided)
+
+(* ---------- list ---------- *)
+
+let list_cmd =
+  let doc = "list the built-in benchmark circuits" in
+  let run () = Format.printf "%a" Circuits.Registry.pp_list () in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* ---------- run ---------- *)
+
+let circuit_arg =
+  Arg.(value & opt string "counter" & info [ "c"; "circuit" ] ~docv:"NAME" ~doc:"registry circuit name")
+
+let param_arg =
+  Arg.(value & opt (some int) None & info [ "p"; "param" ] ~docv:"N" ~doc:"family size parameter")
+
+let aag_arg =
+  Arg.(value & opt (some file) None & info [ "aag" ] ~docv:"FILE" ~doc:"verify an ASCII AIGER file instead")
+
+let engine_arg =
+  Arg.(
+    value
+    & opt (enum engine_names) Cbq_engine
+    & info [ "e"; "engine" ] ~docv:"ENGINE"
+        ~doc:"verification engine: cbq | bdd-bwd | bdd-fwd | bmc | induction | cofactor | hybrid")
+
+let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"per-iteration detail")
+let trace_arg = Arg.(value & flag & info [ "t"; "trace" ] ~doc:"print the counterexample trace")
+
+let seq_sweep_arg =
+  Arg.(
+    value & flag
+    & info [ "seq-sweep" ]
+        ~doc:"reduce the model by register-correspondence sweeping before verification")
+
+let coi_arg =
+  Arg.(
+    value & flag
+    & info [ "coi" ] ~doc:"drop latches and inputs outside the property's cone of influence")
+
+let minimize_arg =
+  Arg.(
+    value & flag
+    & info [ "minimize" ]
+        ~doc:"with --trace: also print the essential inputs (ternary-simulation minimization)")
+
+let run_cmd =
+  let doc = "verify a circuit's safety property" in
+  let run circuit param aag engine verbose trace seq_sweep coi minimize =
+    let model, status = load_model circuit param aag in
+    Format.printf "model %s: %a@." (Netlist.Model.name model) Netlist.Model.pp_stats
+      (Netlist.Model.stats model);
+    let model =
+      if coi then begin
+        let reduced, report = Netlist.Coi.reduce model in
+        Format.printf "coi: %a@." Netlist.Coi.pp_report report;
+        reduced
+      end
+      else model
+    in
+    let model =
+      if seq_sweep then begin
+        let reduced, report = Cbq.Seq_sweep.reduce model in
+        Format.printf "seq-sweep: %a@." Cbq.Seq_sweep.pp_report report;
+        reduced
+      end
+      else model
+    in
+    let outcome = run_engine ~minimize engine model verbose trace in
+    match status with
+    | None -> if outcome = `Undecided then exit 2 else exit 0
+    | Some expected ->
+      let agrees =
+        match (outcome, expected) with
+        | `Proved, Circuits.Registry.Safe -> true
+        | `Falsified d, Circuits.Registry.Unsafe e -> d = e
+        | `Undecided, _ -> true
+        | `Proved, Circuits.Registry.Unsafe _ | `Falsified _, Circuits.Registry.Safe -> false
+      in
+      if not agrees then begin
+        Format.printf "WARNING: verdict disagrees with the family oracle@.";
+        exit 1
+      end
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run $ circuit_arg $ param_arg $ aag_arg $ engine_arg $ verbose_arg $ trace_arg
+      $ seq_sweep_arg $ coi_arg $ minimize_arg)
+
+(* ---------- export ---------- *)
+
+let export_cmd =
+  let doc = "write a registry circuit as AIGER (ascii, or binary with --binary)" in
+  let out_arg =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"output path")
+  in
+  let binary_arg = Arg.(value & flag & info [ "binary" ] ~doc:"compact binary 'aig' format") in
+  let run circuit param out binary =
+    let model, _ = Circuits.Registry.build circuit param in
+    if binary then Netlist.Aiger.write_binary_file model out else Netlist.Aiger.write_file model out;
+    Format.printf "wrote %s (%a)@." out Netlist.Model.pp_stats (Netlist.Model.stats model)
+  in
+  Cmd.v (Cmd.info "export" ~doc) Term.(const run $ circuit_arg $ param_arg $ out_arg $ binary_arg)
+
+(* ---------- quantify ---------- *)
+
+let quantify_cmd =
+  let doc = "circuit-based quantification demo on a combinational cone" in
+  let cone_arg =
+    Arg.(value & opt string "mult" & info [ "cone" ] ~docv:"NAME" ~doc:"adder|mult|hwb|parity|majority|random")
+  in
+  let size_arg = Arg.(value & opt int 5 & info [ "n" ] ~docv:"N" ~doc:"cone size parameter") in
+  let count_arg =
+    Arg.(value & opt int 4 & info [ "k" ] ~docv:"K" ~doc:"number of variables to quantify")
+  in
+  let run cone n k =
+    match List.assoc_opt cone Circuits.Comb.catalogue with
+    | None -> Format.printf "unknown cone %S@." cone
+    | Some make ->
+      let c = make n in
+      let aig = c.Circuits.Comb.aig in
+      let checker = Cnf.Checker.create aig in
+      let prng = Util.Prng.create 11 in
+      let vars =
+        List.filteri (fun i _ -> i < k) c.Circuits.Comb.vars
+      in
+      Format.printf "cone %s: %d AND nodes, quantifying %d of %d variables@."
+        c.Circuits.Comb.name
+        (Aig.size aig c.Circuits.Comb.root)
+        (List.length vars)
+        (List.length c.Circuits.Comb.vars);
+      let naive =
+        Cbq.Quantify.all ~config:Cbq.Quantify.naive_config aig checker ~prng
+          c.Circuits.Comb.root ~vars
+      in
+      let full = Cbq.Quantify.all aig checker ~prng c.Circuits.Comb.root ~vars in
+      Format.printf "naive Shannon: %d nodes; merged+optimized: %d nodes@."
+        (Aig.size aig naive.Cbq.Quantify.lit)
+        (Aig.size aig full.Cbq.Quantify.lit);
+      List.iter
+        (fun r -> Format.printf "  %a@." Cbq.Quantify.pp_var_report r)
+        full.Cbq.Quantify.reports
+  in
+  Cmd.v (Cmd.info "quantify" ~doc) Term.(const run $ cone_arg $ size_arg $ count_arg)
+
+(* ---------- reduce ---------- *)
+
+let reduce_cmd =
+  let doc = "reduce a model (cone of influence + register correspondence) and export it" in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"write the reduced model as ascii AIGER")
+  in
+  let run circuit param aag out =
+    let model, _ = load_model circuit param aag in
+    Format.printf "model %s: %a@." (Netlist.Model.name model) Netlist.Model.pp_stats
+      (Netlist.Model.stats model);
+    let model, coi_report = Netlist.Coi.reduce model in
+    Format.printf "coi:       %a@." Netlist.Coi.pp_report coi_report;
+    let model, sweep_report = Cbq.Seq_sweep.reduce model in
+    Format.printf "seq-sweep: %a@." Cbq.Seq_sweep.pp_report sweep_report;
+    Format.printf "reduced:   %a@." Netlist.Model.pp_stats (Netlist.Model.stats model);
+    match out with
+    | Some path ->
+      Netlist.Aiger.write_file model path;
+      Format.printf "wrote %s@." path
+    | None -> ()
+  in
+  Cmd.v (Cmd.info "reduce" ~doc) Term.(const run $ circuit_arg $ param_arg $ aag_arg $ out_arg)
+
+(* ---------- cec ---------- *)
+
+let cec_cmd =
+  let doc = "combinational equivalence check: ripple-carry vs carry-lookahead adder" in
+  let size_arg = Arg.(value & opt int 8 & info [ "n" ] ~docv:"N" ~doc:"adder width") in
+  let bug_arg = Arg.(value & flag & info [ "bug" ] ~doc:"inject a bug into the lookahead adder") in
+  let run n bug =
+    let ripple = Circuits.Comb.adder_carry n in
+    let cla = Circuits.Comb.carry_lookahead ~bug n in
+    let report =
+      Sweep.Cec.check_cones
+        (ripple.Circuits.Comb.aig, ripple.Circuits.Comb.root, ripple.Circuits.Comb.vars)
+        (cla.Circuits.Comb.aig, cla.Circuits.Comb.root, cla.Circuits.Comb.vars)
+    in
+    Format.printf "%s vs %s: %a@." ripple.Circuits.Comb.name cla.Circuits.Comb.name
+      Sweep.Cec.pp_verdict report.Sweep.Cec.verdict;
+    Format.printf "  closed by sweeping alone: %b@." report.Sweep.Cec.merged_to_same_node;
+    Format.printf "  %a@." Sweep.Sweeper.pp_report report.Sweep.Cec.sweep;
+    match report.Sweep.Cec.verdict with
+    | Sweep.Cec.Equivalent -> if bug then exit 1
+    | Sweep.Cec.Inequivalent _ -> if not bug then exit 1
+    | Sweep.Cec.Unknown -> exit 2
+  in
+  Cmd.v (Cmd.info "cec" ~doc) Term.(const run $ size_arg $ bug_arg)
+
+(* ---------- sat ---------- *)
+
+let sat_cmd =
+  let doc = "solve a DIMACS CNF file with the built-in CDCL solver" in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"DIMACS input")
+  in
+  let run path =
+    match Sat.Dimacs.solve_file path with
+    | Error msg ->
+      Format.printf "error: %s@." msg;
+      exit 2
+    | Ok (result, solver) -> (
+      Format.printf "%a@." Sat.Solver.pp_stats (Sat.Solver.stats solver);
+      match result with
+      | Sat.Solver.Sat ->
+        Format.printf "s SATISFIABLE@.";
+        let values =
+          List.init (Sat.Solver.num_vars solver) (fun v ->
+              match Sat.Solver.value solver v with
+              | Some true -> string_of_int (v + 1)
+              | Some false | None -> string_of_int (-(v + 1)))
+        in
+        Format.printf "v %s 0@." (String.concat " " values)
+      | Sat.Solver.Unsat -> Format.printf "s UNSATISFIABLE@."
+      | Sat.Solver.Unknown ->
+        Format.printf "s UNKNOWN@.";
+        exit 2)
+  in
+  Cmd.v (Cmd.info "sat" ~doc) Term.(const run $ file_arg)
+
+let () =
+  let doc = "circuit-based quantification model checker (DATE'05 reproduction)" in
+  let info = Cmd.info "cbq-mc" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; export_cmd; reduce_cmd; quantify_cmd; cec_cmd; sat_cmd ]))

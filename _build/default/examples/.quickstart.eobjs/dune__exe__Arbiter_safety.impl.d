@@ -1,0 +1,1 @@
+examples/arbiter_safety.ml: Baselines Cbq Circuits Format List Netlist

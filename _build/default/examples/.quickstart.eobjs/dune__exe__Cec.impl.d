@@ -1,0 +1,1 @@
+examples/cec.ml: Aig Circuits Format List Sweep

@@ -1,0 +1,1 @@
+examples/fifo_bug_hunt.ml: Array Baselines Cbq Circuits Format List Netlist

@@ -1,0 +1,1 @@
+examples/fifo_bug_hunt.mli:

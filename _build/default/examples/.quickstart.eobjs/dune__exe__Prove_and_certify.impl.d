@@ -1,0 +1,1 @@
+examples/prove_and_certify.ml: Aig Cbq Circuits Format List Netlist

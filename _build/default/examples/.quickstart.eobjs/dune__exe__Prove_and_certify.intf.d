@@ -1,0 +1,1 @@
+examples/prove_and_certify.mli:

@@ -1,0 +1,1 @@
+examples/quantifier_playground.ml: Aig Cbq Circuits Cnf Format List Sweep Synth Util

@@ -1,0 +1,1 @@
+examples/quantifier_playground.mli:

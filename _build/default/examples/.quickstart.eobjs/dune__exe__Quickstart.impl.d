@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aig Cbq Cnf Format List Netlist Printf String Util

@@ -1,0 +1,42 @@
+(* Combinational equivalence checking with the merge engine: prove a
+   ripple-carry and a carry-lookahead adder compute the same carry-out,
+   then catch an injected bug with a concrete distinguishing vector.
+
+   This is the paper's observation in reverse: the quantification merge
+   phase *is* an equivalence checker, so pointed at two whole circuits it
+   becomes the classical CEC flow (hash, simulate, BDD-sweep, SAT).
+
+   Run with: dune exec examples/cec.exe *)
+
+let check_pair n ~bug =
+  let ripple = Circuits.Comb.adder_carry n in
+  let cla = Circuits.Comb.carry_lookahead ~bug n in
+  let report =
+    Sweep.Cec.check_cones
+      (ripple.Circuits.Comb.aig, ripple.Circuits.Comb.root, ripple.Circuits.Comb.vars)
+      (cla.Circuits.Comb.aig, cla.Circuits.Comb.root, cla.Circuits.Comb.vars)
+  in
+  Format.printf "%-8s vs %-10s  %a  sweep-closed=%-5b  %.4fs@." ripple.Circuits.Comb.name
+    cla.Circuits.Comb.name Sweep.Cec.pp_verdict report.Sweep.Cec.verdict
+    report.Sweep.Cec.merged_to_same_node report.Sweep.Cec.seconds;
+  report
+
+let () =
+  Format.printf "equivalence of two adder architectures, growing width:@.";
+  List.iter (fun n -> ignore (check_pair n ~bug:false)) [ 4; 8; 12; 16 ];
+  Format.printf "@.and the buggy lookahead is refuted with a witness:@.";
+  let report = check_pair 8 ~bug:true in
+  match report.Sweep.Cec.verdict with
+  | Sweep.Cec.Inequivalent assignment ->
+    (* replay the witness on both circuits to show it really separates
+       them; both cones and the joint manager number the shared inputs
+       identically (0 .. 2n-1, in declaration order) *)
+    let ripple = Circuits.Comb.adder_carry 8 in
+    let cla = Circuits.Comb.carry_lookahead ~bug:true 8 in
+    let value (c : Circuits.Comb.cone) =
+      Aig.eval c.Circuits.Comb.aig c.Circuits.Comb.root (fun v ->
+          try List.assoc v assignment with Not_found -> false)
+    in
+    Format.printf "witness replay: ripple=%b lookahead=%b (must differ)@." (value ripple)
+      (value cla)
+  | Sweep.Cec.Equivalent | Sweep.Cec.Unknown -> Format.printf "unexpected verdict@."

@@ -1,0 +1,451 @@
+type lit = int
+type var = int
+
+(* Node encoding in the two fanin arrays:
+   - node 0: the constant, [fanin0 = -2].
+   - variable leaf: [fanin0 = -1], [fanin1 = variable index].
+   - AND node: both fanins are literals, ordered [fanin0 <= fanin1]. *)
+type t = {
+  fanin0 : Util.Vec_int.t;
+  fanin1 : Util.Vec_int.t;
+  levels : Util.Vec_int.t;
+  strash : (int * int, int) Hashtbl.t;
+  var_nodes : Util.Vec_int.t; (* var index -> node id *)
+  mutable ands : int;
+  mutable strash_hits : int;
+  mutable rewrites : int;
+}
+
+let false_ = 0
+let true_ = 1
+let not_ l = l lxor 1
+let node_of_lit l = l lsr 1
+let is_complemented l = l land 1 = 1
+let lit_of_node n = n lsl 1
+
+let create ?(initial_capacity = 1024) () =
+  let t =
+    {
+      fanin0 = Util.Vec_int.create ~capacity:initial_capacity ();
+      fanin1 = Util.Vec_int.create ~capacity:initial_capacity ();
+      levels = Util.Vec_int.create ~capacity:initial_capacity ();
+      strash = Hashtbl.create initial_capacity;
+      var_nodes = Util.Vec_int.create ();
+      ands = 0;
+      strash_hits = 0;
+      rewrites = 0;
+    }
+  in
+  (* node 0: constant false *)
+  Util.Vec_int.push t.fanin0 (-2);
+  Util.Vec_int.push t.fanin1 0;
+  Util.Vec_int.push t.levels 0;
+  t
+
+let num_nodes t = Util.Vec_int.length t.fanin0
+let num_ands t = t.ands
+let num_vars t = Util.Vec_int.length t.var_nodes
+
+let fresh_var t =
+  let v = num_vars t in
+  let n = num_nodes t in
+  Util.Vec_int.push t.fanin0 (-1);
+  Util.Vec_int.push t.fanin1 v;
+  Util.Vec_int.push t.levels 0;
+  Util.Vec_int.push t.var_nodes n;
+  v
+
+let var t v =
+  if v < 0 then invalid_arg "Aig.var: negative variable";
+  while num_vars t <= v do
+    ignore (fresh_var t)
+  done;
+  lit_of_node (Util.Vec_int.get t.var_nodes v)
+
+let kind0 t n = Util.Vec_int.get t.fanin0 n
+let is_const l = node_of_lit l = 0
+let is_var t l = kind0 t (node_of_lit l) = -1
+let is_and t l = kind0 t (node_of_lit l) >= 0
+
+let var_of_lit t l =
+  let n = node_of_lit l in
+  if kind0 t n = -1 then Some (Util.Vec_int.get t.fanin1 n) else None
+
+let fanins t n =
+  let f0 = Util.Vec_int.get t.fanin0 n in
+  if f0 < 0 then invalid_arg "Aig.fanins: not an AND node";
+  (f0, Util.Vec_int.get t.fanin1 n)
+
+let level t n = Util.Vec_int.get t.levels n
+
+(* Fanins of a positive, uncomplemented AND literal; None otherwise. *)
+let and_fanins_pos t l =
+  if is_complemented l then None
+  else
+    let n = node_of_lit l in
+    let f0 = kind0 t n in
+    if f0 >= 0 then Some (f0, Util.Vec_int.get t.fanin1 n) else None
+
+(* Fanins of a complemented AND literal. *)
+let and_fanins_neg t l =
+  if not (is_complemented l) then None
+  else
+    let n = node_of_lit l in
+    let f0 = kind0 t n in
+    if f0 >= 0 then Some (f0, Util.Vec_int.get t.fanin1 n) else None
+
+let new_and_node t l0 l1 =
+  let n = num_nodes t in
+  Util.Vec_int.push t.fanin0 l0;
+  Util.Vec_int.push t.fanin1 l1;
+  let lv = 1 + max (level t (node_of_lit l0)) (level t (node_of_lit l1)) in
+  Util.Vec_int.push t.levels lv;
+  Hashtbl.replace t.strash (l0, l1) n;
+  t.ands <- t.ands + 1;
+  lit_of_node n
+
+(* AND construction: trivial rules, two-level rewrite rules (the paper's
+   "AIG semi-canonicity"), then strashing. The rewrite rules are the O(1)
+   subset of Kuehlmann et al. (DAC'01): contradiction, subsumption,
+   idempotence and substitution over one structural level. *)
+let rec and_ t a b =
+  if a = false_ || b = false_ then false_
+  else if a = true_ then b
+  else if b = true_ then a
+  else if a = b then a
+  else if a = not_ b then false_
+  else begin
+    match rewrite t a b with
+    | Some r ->
+      t.rewrites <- t.rewrites + 1;
+      r
+    | None ->
+      let l0, l1 = if a <= b then (a, b) else (b, a) in
+      (match Hashtbl.find_opt t.strash (l0, l1) with
+      | Some n ->
+        t.strash_hits <- t.strash_hits + 1;
+        lit_of_node n
+      | None -> new_and_node t l0 l1)
+  end
+
+and rewrite t a b =
+  match one_sided t a b with
+  | Some _ as r -> r
+  | None -> (
+    match one_sided t b a with
+    | Some _ as r -> r
+    | None -> two_sided t a b)
+
+(* Rules where [a] is an AND literal and [b] an arbitrary literal. *)
+and one_sided t a b =
+  match and_fanins_pos t a with
+  | Some (x, y) ->
+    if b = not_ x || b = not_ y then Some false_ (* (x&y) & ~x = 0 *)
+    else if b = x || b = y then Some a (* (x&y) & x = x&y *)
+    else None
+  | None -> (
+    match and_fanins_neg t a with
+    | Some (x, y) ->
+      if b = not_ x || b = not_ y then Some b (* ~(x&y) & ~x = ~x *)
+      else if b = x then Some (and_ t x (not_ y)) (* substitution *)
+      else if b = y then Some (and_ t y (not_ x))
+      else None
+    | None -> None)
+
+(* Rules needing both operands decomposed. *)
+and two_sided t a b =
+  match (and_fanins_pos t a, and_fanins_pos t b) with
+  | Some (x, y), Some (u, v) ->
+    (* (x&y) & (u&v) = 0 when a fanin contradicts another fanin *)
+    if x = not_ u || x = not_ v || y = not_ u || y = not_ v then Some false_ else None
+  | _ -> (
+    match (and_fanins_pos t a, and_fanins_neg t b) with
+    | Some (x, y), Some (u, v) ->
+      (* (x&y) & ~(u&v) = x&y when x&y already falsifies u&v *)
+      if x = not_ u || x = not_ v || y = not_ u || y = not_ v then Some a else None
+    | _ -> (
+      match (and_fanins_neg t a, and_fanins_pos t b) with
+      | Some (u, v), Some (x, y) ->
+        if x = not_ u || x = not_ v || y = not_ u || y = not_ v then Some b else None
+      | _ -> None))
+
+let or_ t a b = not_ (and_ t (not_ a) (not_ b))
+let implies t a b = or_ t (not_ a) b
+
+let xor_ t a b =
+  (* a^b = (a|b) & ~(a&b) *)
+  and_ t (or_ t a b) (not_ (and_ t a b))
+
+let iff_ t a b = not_ (xor_ t a b)
+let ite t c a b = or_ t (and_ t c a) (and_ t (not_ c) b)
+let and_list t ls = List.fold_left (and_ t) true_ ls
+let or_list t ls = List.fold_left (or_ t) false_ ls
+
+(* Iterative post-order over AND nodes reachable from [roots]; leaves are
+   not reported. *)
+let cone t roots =
+  let visited = Hashtbl.create 64 in
+  let order = ref [] in
+  let stack = Stack.create () in
+  let push_node l =
+    let n = node_of_lit l in
+    if (not (Hashtbl.mem visited n)) && kind0 t n >= 0 then Stack.push (n, false) stack
+  in
+  List.iter push_node roots;
+  while not (Stack.is_empty stack) do
+    let n, expanded = Stack.pop stack in
+    if not (Hashtbl.mem visited n) then
+      if expanded then begin
+        Hashtbl.replace visited n ();
+        order := n :: !order
+      end
+      else begin
+        Stack.push (n, true) stack;
+        let f0 = Util.Vec_int.get t.fanin0 n and f1 = Util.Vec_int.get t.fanin1 n in
+        push_node f1;
+        push_node f0
+      end
+  done;
+  List.rev !order
+
+let size_list t roots = List.length (cone t roots)
+let size t l = size_list t [ l ]
+
+let support_list t roots =
+  let seen_node = Hashtbl.create 64 in
+  let vars = Hashtbl.create 16 in
+  let stack = Stack.create () in
+  let push l =
+    let n = node_of_lit l in
+    if not (Hashtbl.mem seen_node n) then begin
+      Hashtbl.replace seen_node n ();
+      Stack.push n stack
+    end
+  in
+  List.iter push roots;
+  while not (Stack.is_empty stack) do
+    let n = Stack.pop stack in
+    let f0 = kind0 t n in
+    if f0 = -1 then Hashtbl.replace vars (Util.Vec_int.get t.fanin1 n) ()
+    else if f0 >= 0 then begin
+      push f0;
+      push (Util.Vec_int.get t.fanin1 n)
+    end
+  done;
+  List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) vars [])
+
+let support t l = support_list t [ l ]
+let depends_on t l v = List.mem v (support t l)
+
+(* Generic memoized bottom-up reconstruction of the cone of [root]:
+   [leaf n] gives the literal for leaf node [n] (constant or variable);
+   AND nodes are rebuilt with [and_] from transformed fanins. Because
+   {!cone} yields fanins first, only leaves can be absent from the memo
+   when a fanin value is requested. *)
+let transform t ~leaf root =
+  let memo : (int, lit) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.replace memo 0 false_;
+  let value_of l =
+    let n = node_of_lit l in
+    let v =
+      match Hashtbl.find_opt memo n with
+      | Some v -> v
+      | None ->
+        let v = leaf n in
+        Hashtbl.replace memo n v;
+        v
+    in
+    v lxor (l land 1)
+  in
+  List.iter
+    (fun n ->
+      let f0 = Util.Vec_int.get t.fanin0 n and f1 = Util.Vec_int.get t.fanin1 n in
+      Hashtbl.replace memo n (and_ t (value_of f0) (value_of f1)))
+    (cone t [ root ]);
+  value_of root
+
+let cofactor t l ~v ~phase =
+  let leaf n =
+    if kind0 t n = -1 && Util.Vec_int.get t.fanin1 n = v then if phase then true_ else false_
+    else lit_of_node n
+  in
+  transform t ~leaf l
+
+let compose t l ~subst =
+  let leaf n =
+    if kind0 t n = -1 then
+      match subst (Util.Vec_int.get t.fanin1 n) with
+      | Some replacement -> replacement
+      | None -> lit_of_node n
+    else lit_of_node n
+  in
+  transform t ~leaf l
+
+(* Rebuild with node replacements. [repl n] may point at another node whose
+   own cone must itself be rebuilt, so the traversal follows replacement
+   edges; the substitution map must be acyclic (representatives map to
+   themselves). Iterative with an explicit stack: cones can be deeper than
+   the call stack (long counter or shift chains). *)
+let rebuild t ~repl root =
+  let memo : (int, lit) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.replace memo 0 false_;
+  let stack = Stack.create () in
+  Stack.push (node_of_lit root) stack;
+  while not (Stack.is_empty stack) do
+    let n = Stack.top stack in
+    if Hashtbl.mem memo n then ignore (Stack.pop stack)
+    else begin
+      let r = repl n in
+      if r <> lit_of_node n then begin
+        let m = node_of_lit r in
+        match Hashtbl.find_opt memo m with
+        | Some v ->
+          Hashtbl.replace memo n (v lxor (r land 1));
+          ignore (Stack.pop stack)
+        | None -> Stack.push m stack
+      end
+      else begin
+        let f0 = kind0 t n in
+        if f0 = -1 then begin
+          Hashtbl.replace memo n (lit_of_node n);
+          ignore (Stack.pop stack)
+        end
+        else begin
+          let f1 = Util.Vec_int.get t.fanin1 n in
+          let n0 = node_of_lit f0 and n1 = node_of_lit f1 in
+          match (Hashtbl.find_opt memo n0, Hashtbl.find_opt memo n1) with
+          | Some v0, Some v1 ->
+            Hashtbl.replace memo n (and_ t (v0 lxor (f0 land 1)) (v1 lxor (f1 land 1)));
+            ignore (Stack.pop stack)
+          | m0, m1 ->
+            if m0 = None then Stack.push n0 stack;
+            if m1 = None then Stack.push n1 stack
+        end
+      end
+    end
+  done;
+  Hashtbl.find memo (node_of_lit root) lxor (root land 1)
+
+let import t ~source ~subst root =
+  let memo : (int, lit) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.replace memo 0 false_;
+  let value_of l =
+    let n = node_of_lit l in
+    let v =
+      match Hashtbl.find_opt memo n with
+      | Some v -> v
+      | None ->
+        (* leaf in topological order: must be a variable of the source *)
+        let v =
+          match var_of_lit source (lit_of_node n) with
+          | Some var_index -> subst var_index
+          | None -> invalid_arg "Aig.import: malformed source cone"
+        in
+        Hashtbl.replace memo n v;
+        v
+    in
+    v lxor (l land 1)
+  in
+  List.iter
+    (fun n ->
+      let f0, f1 = fanins source n in
+      Hashtbl.replace memo n (and_ t (value_of f0) (value_of f1)))
+    (cone source [ root ]);
+  value_of root
+
+let lit_word l w = if is_complemented l then Int64.lognot w else w
+
+let simulate_cone t nodes words =
+  let table : (int, int64) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.replace table 0 0L;
+  let word_of_node n =
+    match Hashtbl.find_opt table n with
+    | Some w -> w
+    | None ->
+      (* must be a leaf: AND fanins precede in topological order *)
+      let f0 = kind0 t n in
+      let w =
+        if f0 = -1 then words (Util.Vec_int.get t.fanin1 n)
+        else if f0 = -2 then 0L
+        else invalid_arg "Aig.simulate_cone: nodes not topologically ordered"
+      in
+      Hashtbl.replace table n w;
+      w
+  in
+  let word_of_lit l = lit_word l (word_of_node (node_of_lit l)) in
+  List.iter
+    (fun n ->
+      let f0 = Util.Vec_int.get t.fanin0 n and f1 = Util.Vec_int.get t.fanin1 n in
+      Hashtbl.replace table n (Int64.logand (word_of_lit f0) (word_of_lit f1)))
+    nodes;
+  table
+
+let simulate t l words =
+  let table = simulate_cone t (cone t [ l ]) words in
+  let n = node_of_lit l in
+  let w =
+    match Hashtbl.find_opt table n with
+    | Some w -> w
+    | None -> if kind0 t n = -1 then words (Util.Vec_int.get t.fanin1 n) else 0L
+  in
+  lit_word l w
+
+let eval t l env =
+  let words v = if env v then -1L else 0L in
+  Int64.logand (simulate t l words) 1L = 1L
+
+(* Ternary evaluation with two-bit encoding per node: (known, value).
+   AND: known when both sides known, or either known-0. *)
+let eval3 t l env =
+  let table : (int, bool option) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.replace table 0 (Some false);
+  let value_of_lit l =
+    let v = Hashtbl.find table (node_of_lit l) in
+    if is_complemented l then Option.map not v else v
+  in
+  List.iter
+    (fun n ->
+      let f0 = Util.Vec_int.get t.fanin0 n and f1 = Util.Vec_int.get t.fanin1 n in
+      let fix l =
+        let m = node_of_lit l in
+        if not (Hashtbl.mem table m) then
+          Hashtbl.replace table m (env (Util.Vec_int.get t.fanin1 m))
+      in
+      fix f0;
+      fix f1;
+      let value =
+        match (value_of_lit f0, value_of_lit f1) with
+        | Some false, _ | _, Some false -> Some false
+        | Some true, Some true -> Some true
+        | None, _ | _, None -> None
+      in
+      Hashtbl.replace table n value)
+    (cone t [ l ]);
+  let n = node_of_lit l in
+  if not (Hashtbl.mem table n) then
+    Hashtbl.replace table n (if kind0 t n = -1 then env (Util.Vec_int.get t.fanin1 n) else Some false);
+  value_of_lit l
+
+let pp_lit t ppf l =
+  if l = false_ then Format.pp_print_string ppf "0"
+  else if l = true_ then Format.pp_print_string ppf "1"
+  else
+    let sign = if is_complemented l then "~" else "" in
+    match var_of_lit t l with
+    | Some v -> Format.fprintf ppf "%sx%d" sign v
+    | None -> Format.fprintf ppf "%sn%d" sign (node_of_lit l)
+
+type stats = { nodes : int; ands : int; vars : int; strash_hits : int; rewrites : int }
+
+let stats t =
+  {
+    nodes = num_nodes t;
+    ands = t.ands;
+    vars = num_vars t;
+    strash_hits = t.strash_hits;
+    rewrites = t.rewrites;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf "nodes=%d ands=%d vars=%d strash-hits=%d rewrites=%d" s.nodes s.ands
+    s.vars s.strash_hits s.rewrites

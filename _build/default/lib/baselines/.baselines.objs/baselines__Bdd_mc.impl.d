@@ -1,0 +1,1 @@
+lib/baselines/bdd_mc.ml: Aig Bdd Format Hashtbl List Netlist Util Verdict

@@ -1,0 +1,1 @@
+lib/baselines/bdd_mc.mli: Format Netlist Verdict

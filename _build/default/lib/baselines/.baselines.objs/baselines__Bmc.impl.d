@@ -1,0 +1,1 @@
+lib/baselines/bmc.ml: Aig Cbq Cnf Format List Netlist Printf Sat Util Verdict

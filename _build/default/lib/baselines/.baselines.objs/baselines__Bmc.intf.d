@@ -1,0 +1,1 @@
+lib/baselines/bmc.mli: Aig Cbq Format Netlist Sat Verdict

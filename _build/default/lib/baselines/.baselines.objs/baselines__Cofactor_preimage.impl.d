@@ -1,0 +1,1 @@
+lib/baselines/cofactor_preimage.ml: Aig Cbq Cnf Format List Netlist Util Verdict

@@ -1,0 +1,1 @@
+lib/baselines/cofactor_preimage.mli: Aig Cnf Format Netlist Verdict

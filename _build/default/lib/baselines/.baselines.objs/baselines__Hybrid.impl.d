@@ -1,0 +1,1 @@
+lib/baselines/hybrid.ml: Aig Cbq Cnf Format List Netlist Util Verdict

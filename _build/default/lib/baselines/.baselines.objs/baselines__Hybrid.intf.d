@@ -1,0 +1,1 @@
+lib/baselines/hybrid.mli: Cbq Format Netlist Verdict

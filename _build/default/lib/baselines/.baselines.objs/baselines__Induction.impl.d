@@ -1,0 +1,1 @@
+lib/baselines/induction.ml: Aig Cbq Cnf Format Hashtbl List Netlist Printf Sat Util Verdict

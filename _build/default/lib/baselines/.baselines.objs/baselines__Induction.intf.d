@@ -1,0 +1,1 @@
+lib/baselines/induction.mli: Cbq Format Netlist Sat Verdict

@@ -1,0 +1,1 @@
+lib/baselines/verdict.ml: Format

@@ -1,0 +1,161 @@
+type iteration = { index : int; frontier_nodes : int; reached_nodes : int }
+
+type result = {
+  verdict : Verdict.t;
+  iterations : iteration list;
+  peak_nodes : int;
+  seconds : float;
+}
+
+let pp_result ppf r =
+  Format.fprintf ppf "%a iterations=%d peak-bdd-nodes=%d %.3fs" Verdict.pp r.verdict
+    (List.length r.iterations) r.peak_nodes r.seconds
+
+(* Translate AIG cones into the BDD manager, one shared memo per engine
+   run; BDD variable indices coincide with AIG variable indices. *)
+let make_translator man aig =
+  let memo : (int, Bdd.node) Hashtbl.t = Hashtbl.create 256 in
+  Hashtbl.replace memo 0 Bdd.zero;
+  fun lit ->
+    let nodes = Aig.cone aig [ lit ] in
+    List.iter
+      (fun n ->
+        if not (Hashtbl.mem memo n) then begin
+          let f0, f1 = Aig.fanins aig n in
+          let value l =
+            let m = Aig.node_of_lit l in
+            let b =
+              match Hashtbl.find_opt memo m with
+              | Some b -> b
+              | None -> (
+                match Aig.var_of_lit aig (Aig.lit_of_node m) with
+                | Some v ->
+                  let b = Bdd.var_node man v in
+                  Hashtbl.replace memo m b;
+                  b
+                | None -> assert false)
+            in
+            if Aig.is_complemented l then Bdd.not_ man b else b
+          in
+          Hashtbl.replace memo n (Bdd.and_ man (value f0) (value f1))
+        end)
+      nodes;
+    let b =
+      match Hashtbl.find_opt memo (Aig.node_of_lit lit) with
+      | Some b -> b
+      | None -> (
+        match Aig.var_of_lit aig lit with
+        | Some v ->
+          let b = Bdd.var_node man v in
+          Hashtbl.replace memo (Aig.node_of_lit lit) b;
+          b
+        | None -> assert false)
+    in
+    if Aig.is_complemented lit then Bdd.not_ man b else b
+
+let run_engine ~node_limit ~body =
+  let watch = Util.Stopwatch.start () in
+  let man = Bdd.create () in
+  let iterations = ref [] in
+  let verdict =
+    match Bdd.with_limit man ~max_nodes:node_limit (fun () -> body man iterations) with
+    | Ok v -> v
+    | Error `Node_limit -> Verdict.Undecided "node limit"
+  in
+  {
+    verdict;
+    iterations = List.rev !iterations;
+    peak_nodes = Bdd.num_nodes man;
+    seconds = Util.Stopwatch.elapsed watch;
+  }
+
+let backward ?(node_limit = 1_000_000) ?(max_iterations = 200) model =
+  let aig = Netlist.Model.aig model in
+  let input_vars = Netlist.Model.input_vars model in
+  let is_input v = List.mem v input_vars in
+  run_engine ~node_limit ~body:(fun man iterations ->
+      let of_lit = make_translator man aig in
+      let next_bdd =
+        List.map
+          (fun l -> (l.Netlist.Model.state_var, of_lit l.Netlist.Model.next))
+          model.Netlist.Model.latches
+      in
+      let subst v = List.assoc_opt v next_bdd in
+      let init = of_lit (Netlist.Model.init_lit model) in
+      let bad = Bdd.exists man is_input (of_lit (Aig.not_ model.Netlist.Model.property)) in
+      if Bdd.and_ man init bad <> Bdd.zero then Verdict.Falsified 0
+      else begin
+        let reached = ref bad in
+        let frontier = ref bad in
+        let rec loop k =
+          if k > max_iterations then Verdict.Undecided "iteration limit"
+          else begin
+            let pre = Bdd.exists man is_input (Bdd.compose man !frontier ~subst) in
+            let novel = Bdd.and_ man pre (Bdd.not_ man !reached) in
+            iterations :=
+              { index = k; frontier_nodes = Bdd.size man novel; reached_nodes = Bdd.size man !reached }
+              :: !iterations;
+            if Bdd.and_ man pre init <> Bdd.zero then Verdict.Falsified k
+            else if novel = Bdd.zero then Verdict.Proved
+            else begin
+              reached := Bdd.or_ man !reached novel;
+              frontier := novel;
+              loop (k + 1)
+            end
+          end
+        in
+        loop 1
+      end)
+
+let forward ?(node_limit = 1_000_000) ?(max_iterations = 200) model =
+  let aig = Netlist.Model.aig model in
+  let input_vars = Netlist.Model.input_vars model in
+  let state_vars = Netlist.Model.state_vars model in
+  (* primed variables live above every model variable *)
+  let base = Aig.num_vars aig + 1 in
+  let primed = List.mapi (fun i v -> (v, base + i)) state_vars in
+  run_engine ~node_limit ~body:(fun man iterations ->
+      let of_lit = make_translator man aig in
+      let relation =
+        List.fold_left
+          (fun acc l ->
+            let p = List.assoc l.Netlist.Model.state_var primed in
+            let eq = Bdd.iff_ man (Bdd.var_node man p) (of_lit l.Netlist.Model.next) in
+            Bdd.and_ man acc eq)
+          Bdd.one model.Netlist.Model.latches
+      in
+      let is_unprimed v = v < base in
+      let unprime = List.map (fun (v, p) -> (p, Bdd.var_node man v)) primed in
+      let image r =
+        let product = Bdd.and_ man relation r in
+        let primed_only = Bdd.exists man is_unprimed product in
+        Bdd.compose man primed_only ~subst:(fun v -> List.assoc_opt v unprime)
+      in
+      let init = of_lit (Netlist.Model.init_lit model) in
+      let bad =
+        Bdd.exists man (fun v -> List.mem v input_vars)
+          (of_lit (Aig.not_ model.Netlist.Model.property))
+      in
+      if Bdd.and_ man init bad <> Bdd.zero then Verdict.Falsified 0
+      else begin
+        let reached = ref init in
+        let frontier = ref init in
+        let rec loop k =
+          if k > max_iterations then Verdict.Undecided "iteration limit"
+          else begin
+            let img = image !frontier in
+            let novel = Bdd.and_ man img (Bdd.not_ man !reached) in
+            iterations :=
+              { index = k; frontier_nodes = Bdd.size man novel; reached_nodes = Bdd.size man !reached }
+              :: !iterations;
+            if Bdd.and_ man img bad <> Bdd.zero then Verdict.Falsified k
+            else if novel = Bdd.zero then Verdict.Proved
+            else begin
+              reached := Bdd.or_ man !reached novel;
+              frontier := novel;
+              loop (k + 1)
+            end
+          end
+        in
+        loop 1
+      end)

@@ -1,0 +1,30 @@
+(** The traditional engine the paper positions itself against: symbolic
+    reachability with canonical (BDD) state sets.
+
+    Pre-image composes the next-state BDDs into the frontier and
+    existentially quantifies the inputs; forward image uses a monolithic
+    transition relation over primed variables. No dynamic variable
+    reordering is performed (the variable order is the model's variable
+    numbering, primed variables last), so canonicity-induced blow-up
+    appears at moderate sizes — the node quota turns it into an explicit
+    [Undecided "node limit"] outcome, which is precisely the behaviour the
+    comparison tables need to exhibit. *)
+
+type iteration = { index : int; frontier_nodes : int; reached_nodes : int }
+
+type result = {
+  verdict : Verdict.t;
+  iterations : iteration list;
+  peak_nodes : int; (* total BDD nodes allocated by the manager *)
+  seconds : float;
+}
+
+val pp_result : Format.formatter -> result -> unit
+
+(** Backward reachability from [¬P] — the same traversal as
+    {!Cbq.Reachability} but with BDD state sets. *)
+val backward : ?node_limit:int -> ?max_iterations:int -> Netlist.Model.t -> result
+
+(** Forward reachability from the initial states, with a monolithic
+    transition relation. *)
+val forward : ?node_limit:int -> ?max_iterations:int -> Netlist.Model.t -> result

@@ -1,0 +1,38 @@
+(** Bounded model checking (Biere et al., DAC'99), as a falsification
+    baseline and as the downstream SAT engine that the paper's partial
+    quantification feeds (experiment T5).
+
+    The model is unrolled functionally ({!Cbq.Unroll}), so each depth is a
+    single satisfiability query over the frame-input variables; the solver
+    and its learned clauses persist across depths. *)
+
+type result = {
+  verdict : Verdict.t; (* [Proved] never occurs: BMC only refutes *)
+  trace : Cbq.Trace.t option;
+  depth_reached : int;
+  inputs_eliminated : int; (* by CBQ preprocessing, when enabled *)
+  solver : Sat.Solver.stats;
+  seconds : float;
+}
+
+val pp_result : Format.formatter -> result -> unit
+
+(** [run ?max_depth ?conflict_limit ?preprocess m] searches for a
+    counterexample of length [0..max_depth]. [Undecided] reports the bound
+    (or the conflict budget) that stopped the search.
+
+    [~preprocess:true] enables the paper's §4 combination: before each
+    depth's SAT call, circuit-based quantification (with a strict growth
+    budget) structurally eliminates frame-input variables from the
+    unrolled bad-state cone, so the solver faces fewer decision variables.
+    Counterexample traces are then reconstructed from the un-preprocessed
+    cone, so they stay complete. *)
+val run :
+  ?max_depth:int -> ?conflict_limit:int -> ?preprocess:bool -> Netlist.Model.t -> result
+
+(** [run_with_frontier m ~frontier ~max_depth] — BMC towards an arbitrary
+    state set instead of [¬P]: find a path from the initial states into
+    [frontier] (a literal over state variables). Used by the hybrid engine
+    and by tests that cross-validate CBQ frontiers. *)
+val run_with_frontier :
+  ?conflict_limit:int -> Netlist.Model.t -> frontier:Aig.lit -> max_depth:int -> result

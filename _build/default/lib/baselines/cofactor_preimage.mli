@@ -1,0 +1,43 @@
+(** All-solution SAT pre-image with circuit cofactoring (Ganai, Gupta &
+    Ashar, ICCAD'04) — the SAT-based unbounded engine the paper proposes to
+    combine with (§4).
+
+    The pre-image [∃x. B(δ(s,x))] is enumerated: each satisfying
+    assignment of the in-lined formula is {e generalized} by cofactoring
+    the circuit with respect to the satisfying {e input} assignment only,
+    capturing every state compatible with that input vector at once; the
+    captured set is blocked and enumeration continues until UNSAT. *)
+
+type preimage_stats = {
+  enumerations : int; (* SAT solutions needed *)
+  result_size : int; (* AND nodes of the accumulated pre-image *)
+}
+
+(** [preimage m checker ~frontier ~max_enumerations ~quantify] computes
+    the pre-image of a state set. [quantify] lists the variables to
+    eliminate by enumeration (the model inputs, by default the whole
+    input-support). Returns [None] when the enumeration budget is
+    exhausted. *)
+val preimage :
+  Netlist.Model.t ->
+  Cnf.Checker.t ->
+  frontier:Aig.lit ->
+  quantify:Aig.var list ->
+  max_enumerations:int ->
+  (Aig.lit * preimage_stats) option
+
+type iteration = { index : int; frontier_size : int; enumerations : int }
+
+type result = {
+  verdict : Verdict.t;
+  iterations : iteration list;
+  total_enumerations : int;
+  seconds : float;
+}
+
+val pp_result : Format.formatter -> result -> unit
+
+(** Backward reachability where every pre-image is computed by
+    enumeration. *)
+val run :
+  ?max_iterations:int -> ?max_enumerations:int -> Netlist.Model.t -> result

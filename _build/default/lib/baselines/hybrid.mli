@@ -1,0 +1,35 @@
+(** The combination the paper advocates (§4): circuit-based quantification
+    as a {e pre-processing} step in front of an all-solution SAT pre-image.
+
+    Each pre-image first runs partial circuit-based quantification with an
+    aggressive growth budget — cheap input variables are eliminated
+    structurally — and hands only the {e residual} (aborted) variables to
+    the enumeration engine, which therefore explores a decision space with
+    far fewer input variables. *)
+
+type iteration = {
+  index : int;
+  eliminated_by_cbq : int; (* inputs removed by circuit quantification *)
+  enumerated : int; (* residual inputs left to the SAT engine *)
+  enumerations : int; (* SAT solutions the residual cost *)
+  frontier_size : int;
+}
+
+type result = {
+  verdict : Verdict.t;
+  iterations : iteration list;
+  total_enumerations : int;
+  seconds : float;
+}
+
+val pp_result : Format.formatter -> result -> unit
+
+(** [run ?quant_config ?max_iterations ?max_enumerations m]. The default
+    [quant_config] uses a tight growth budget (abort early, let SAT
+    finish), which is the paper's recommended division of labour. *)
+val run :
+  ?quant_config:Cbq.Quantify.config ->
+  ?max_iterations:int ->
+  ?max_enumerations:int ->
+  Netlist.Model.t ->
+  result

@@ -1,0 +1,125 @@
+type result = {
+  verdict : Verdict.t;
+  k_used : int;
+  trace : Cbq.Trace.t option;
+  solver : Sat.Solver.stats;
+  seconds : float;
+}
+
+let pp_result ppf r =
+  Format.fprintf ppf "%a k=%d decisions=%d conflicts=%d %.3fs" Verdict.pp r.verdict r.k_used
+    r.solver.Sat.Solver.decisions r.solver.Sat.Solver.conflicts r.seconds
+
+(* Symbolic unrolling: frame 0 is a vector of fresh variables (an
+   arbitrary state), so satisfiability over it quantifies the start state
+   of the induction step. *)
+module Symbolic = struct
+  type t = {
+    model : Netlist.Model.t;
+    aig : Aig.t;
+    states : (int * Aig.var, Aig.lit) Hashtbl.t;
+    inputs : (int * Aig.var, Aig.lit) Hashtbl.t;
+    mutable ready : int;
+  }
+
+  let create model =
+    let aig = Netlist.Model.aig model in
+    let t = { model; aig; states = Hashtbl.create 64; inputs = Hashtbl.create 64; ready = 0 } in
+    List.iter
+      (fun l ->
+        Hashtbl.replace t.states (0, l.Netlist.Model.state_var)
+          (Aig.var aig (Aig.fresh_var aig)))
+      model.Netlist.Model.latches;
+    t
+
+  let input_lit t ~frame v =
+    match Hashtbl.find_opt t.inputs (frame, v) with
+    | Some l -> l
+    | None ->
+      let l = Aig.var t.aig (Aig.fresh_var t.aig) in
+      Hashtbl.replace t.inputs (frame, v) l;
+      l
+
+  let subst t k v =
+    match Hashtbl.find_opt t.states (k, v) with
+    | Some l -> Some l
+    | None ->
+      if List.mem v (Netlist.Model.input_vars t.model) then Some (input_lit t ~frame:k v)
+      else None
+
+  let rec ensure t k =
+    if k > t.ready then begin
+      ensure t (k - 1);
+      List.iter
+        (fun l ->
+          let lit = Aig.compose t.aig l.Netlist.Model.next ~subst:(subst t (k - 1)) in
+          Hashtbl.replace t.states (k, l.Netlist.Model.state_var) lit)
+        t.model.Netlist.Model.latches;
+      t.ready <- k
+    end
+
+  let property_at t k =
+    ensure t k;
+    Aig.compose t.aig t.model.Netlist.Model.property ~subst:(subst t k)
+
+  let state_lit t ~frame v =
+    ensure t frame;
+    Hashtbl.find t.states (frame, v)
+
+  (* "states at frames i and j differ" *)
+  let distinct t i j =
+    let bits =
+      List.map
+        (fun v -> Aig.xor_ t.aig (state_lit t ~frame:i v) (state_lit t ~frame:j v))
+        (Netlist.Model.state_vars t.model)
+    in
+    Aig.or_list t.aig bits
+end
+
+let run ?(max_k = 50) ?(simple_path = true) model =
+  let watch = Util.Stopwatch.start () in
+  let aig = Netlist.Model.aig model in
+  let checker = Cnf.Checker.create aig in
+  let base_unroll = Cbq.Unroll.create model in
+  let sym = Symbolic.create model in
+  let finish verdict k trace =
+    {
+      verdict;
+      k_used = k;
+      trace;
+      solver = Cnf.Checker.solver_stats checker;
+      seconds = Util.Stopwatch.elapsed watch;
+    }
+  in
+  let rec round k =
+    if k > max_k then finish (Verdict.Undecided (Printf.sprintf "no convergence by k=%d" max_k)) max_k None
+    else begin
+      (* base: counterexample of exactly length k? *)
+      match Cnf.Checker.satisfiable checker [ Cbq.Unroll.bad_at base_unroll k ] with
+      | Cnf.Checker.Yes ->
+        let trace =
+          Cbq.Unroll.trace_from_model base_unroll ~depth:k
+            ~value:(Cnf.Checker.model_var checker)
+        in
+        finish (Verdict.Falsified k) k (Some trace)
+      | Cnf.Checker.Maybe -> finish (Verdict.Undecided "conflict budget") k None
+      | Cnf.Checker.No ->
+        (* step: P on frames 0..k, loop-free, yet ¬P on frame k+1 *)
+        let assumptions =
+          List.init (k + 1) (fun i -> Symbolic.property_at sym i)
+          @ [ Aig.not_ (Symbolic.property_at sym (k + 1)) ]
+          @ (if simple_path then
+               (* all k+2 path states pairwise distinct: makes the method
+                  complete (vacuous step once k exceeds the state count) *)
+               List.concat
+                 (List.init (k + 2) (fun i ->
+                      List.init (k + 2 - i - 1) (fun d -> Symbolic.distinct sym i (i + d + 1))))
+             else [])
+        in
+        (match Cnf.Checker.satisfiable checker assumptions with
+        | Cnf.Checker.No -> finish Verdict.Proved k None
+        | Cnf.Checker.Yes -> round (k + 1)
+        | Cnf.Checker.Maybe -> finish (Verdict.Undecided "conflict budget") k None)
+    end
+  in
+  round 0

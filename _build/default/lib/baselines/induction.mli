@@ -1,0 +1,22 @@
+(** k-induction (Sheeran, Singh & Stålmarck, FMCAD'00) — the unbounded
+    SAT-based baseline of paper §4.
+
+    Round [k] checks the {e base} case (no counterexample of length [k],
+    shared with the BMC unrolling) and the {e step} case: a loop-free path
+    of [k+1] states satisfying [P] cannot be extended to one violating it.
+    Simple-path (pairwise-distinct states) constraints make the method
+    complete on finite models. *)
+
+type result = {
+  verdict : Verdict.t;
+  k_used : int; (* induction depth at the final round *)
+  trace : Cbq.Trace.t option; (* on falsification *)
+  solver : Sat.Solver.stats;
+  seconds : float;
+}
+
+val pp_result : Format.formatter -> result -> unit
+
+(** [run ?max_k ?simple_path m]. [Undecided] when [max_k] rounds pass
+    without convergence (only possible with [simple_path:false]). *)
+val run : ?max_k:int -> ?simple_path:bool -> Netlist.Model.t -> result

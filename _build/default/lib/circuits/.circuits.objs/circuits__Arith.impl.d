@@ -1,0 +1,1 @@
+lib/circuits/arith.ml: Aig List

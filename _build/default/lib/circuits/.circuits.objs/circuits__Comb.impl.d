@@ -1,0 +1,1 @@
+lib/circuits/comb.ml: Aig Arith Array List Printf Util

@@ -1,0 +1,1 @@
+lib/circuits/comb.mli: Aig

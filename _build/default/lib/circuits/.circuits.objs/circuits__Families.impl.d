@@ -1,0 +1,1 @@
+lib/circuits/families.ml: Aig Arith Array List Netlist Printf

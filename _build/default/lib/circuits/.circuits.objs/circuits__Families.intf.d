@@ -1,0 +1,1 @@
+lib/circuits/families.mli: Netlist

@@ -1,0 +1,1 @@
+lib/circuits/registry.ml: Families Format List Netlist Option Printf

@@ -1,0 +1,1 @@
+lib/circuits/registry.mli: Format Netlist

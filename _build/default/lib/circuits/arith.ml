@@ -1,0 +1,99 @@
+let full_adder aig a b cin =
+  let s = Aig.xor_ aig (Aig.xor_ aig a b) cin in
+  let c = Aig.or_ aig (Aig.and_ aig a b) (Aig.and_ aig cin (Aig.xor_ aig a b)) in
+  (s, c)
+
+let add aig xs ys ~cin =
+  if List.length xs <> List.length ys then invalid_arg "Arith.add: width mismatch";
+  let carry = ref cin in
+  let sums =
+    List.map2
+      (fun a b ->
+        let s, c = full_adder aig a b !carry in
+        carry := c;
+        s)
+      xs ys
+  in
+  (sums, !carry)
+
+let const_word aig ~width k =
+  ignore aig;
+  List.init width (fun i -> if (k lsr i) land 1 = 1 then Aig.true_ else Aig.false_)
+
+let add_const aig xs k =
+  let w = List.length xs in
+  fst (add aig xs (const_word aig ~width:w (k land ((1 lsl w) - 1))) ~cin:Aig.false_)
+
+let sub aig xs ys =
+  (* xs - ys = xs + ~ys + 1; carry-out = no borrow *)
+  let nys = List.map Aig.not_ ys in
+  add aig xs nys ~cin:Aig.true_
+
+let equal_const aig xs k =
+  if k < 0 || k >= 1 lsl List.length xs then Aig.false_
+  else
+    let bits =
+      List.mapi (fun i x -> if (k lsr i) land 1 = 1 then x else Aig.not_ x) xs
+    in
+    Aig.and_list aig bits
+
+let equal aig xs ys =
+  if List.length xs <> List.length ys then invalid_arg "Arith.equal: width mismatch";
+  Aig.and_list aig (List.map2 (fun a b -> Aig.iff_ aig a b) xs ys)
+
+let less_const aig xs k =
+  (* xs < k unsigned; fold from MSB *)
+  let rec go bits idx =
+    match bits with
+    | [] -> Aig.false_
+    | x :: rest ->
+      let kb = (k lsr idx) land 1 in
+      if kb = 1 then Aig.or_ aig (Aig.not_ x) (Aig.and_ aig x (go rest (idx - 1)))
+      else Aig.and_ aig (Aig.not_ x) (go rest (idx - 1))
+  in
+  let w = List.length xs in
+  if k >= 1 lsl w then Aig.true_ else go (List.rev xs) (w - 1)
+
+let mux aig sel ~then_ ~else_ =
+  if List.length then_ <> List.length else_ then invalid_arg "Arith.mux: width mismatch";
+  List.map2 (fun a b -> Aig.ite aig sel a b) then_ else_
+
+let at_most_one aig lits =
+  (* linear encoding: scan with a "seen one already" flag *)
+  let seen = ref Aig.false_ in
+  let ok = ref Aig.true_ in
+  List.iter
+    (fun l ->
+      ok := Aig.and_ aig !ok (Aig.not_ (Aig.and_ aig !seen l));
+      seen := Aig.or_ aig !seen l)
+    lits;
+  !ok
+
+let exactly_one aig lits =
+  Aig.and_ aig (at_most_one aig lits) (Aig.or_list aig lits)
+
+let rec popcount aig lits =
+  match lits with
+  | [] -> []
+  | [ l ] -> [ l ]
+  | _ ->
+    let n = List.length lits in
+    let rec split k xs =
+      if k = 0 then ([], xs)
+      else
+        match xs with
+        | [] -> ([], [])
+        | x :: rest ->
+          let a, b = split (k - 1) rest in
+          (x :: a, b)
+    in
+    let left, right = split (n / 2) lits in
+    let a = popcount aig left and b = popcount aig right in
+    let width = max (List.length a) (List.length b) + 1 in
+    let pad w xs = xs @ List.init (w - List.length xs) (fun _ -> Aig.false_) in
+    fst (add aig (pad width a) (pad width b) ~cin:Aig.false_)
+
+let rotate_left xs =
+  match List.rev xs with
+  | [] -> []
+  | msb :: rest_rev -> msb :: List.rev rest_rev

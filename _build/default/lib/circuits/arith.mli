@@ -1,0 +1,45 @@
+(** Word-level combinational building blocks over AIG literals.
+
+    Words are literal lists, least-significant bit first. *)
+
+(** [full_adder aig a b cin] is [(sum, carry)]. *)
+val full_adder : Aig.t -> Aig.lit -> Aig.lit -> Aig.lit -> Aig.lit * Aig.lit
+
+(** [add aig xs ys ~cin] ripple-carry adds two equal-width words. *)
+val add : Aig.t -> Aig.lit list -> Aig.lit list -> cin:Aig.lit -> Aig.lit list * Aig.lit
+
+(** [add_const aig xs k] adds a non-negative constant, dropping carry-out
+    (modular arithmetic). *)
+val add_const : Aig.t -> Aig.lit list -> int -> Aig.lit list
+
+(** [sub aig xs ys] is [xs - ys] modulo the width, plus the no-borrow flag
+    (true when [xs >= ys]). *)
+val sub : Aig.t -> Aig.lit list -> Aig.lit list -> Aig.lit list * Aig.lit
+
+(** [equal_const aig xs k] — does the word equal the constant? A constant
+    outside the word's range yields [Aig.false_]. *)
+val equal_const : Aig.t -> Aig.lit list -> int -> Aig.lit
+
+val equal : Aig.t -> Aig.lit list -> Aig.lit list -> Aig.lit
+
+(** [less_const aig xs k] — unsigned [xs < k]. *)
+val less_const : Aig.t -> Aig.lit list -> int -> Aig.lit
+
+(** [mux aig sel ~then_ ~else_] selects between equal-width words. *)
+val mux : Aig.t -> Aig.lit -> then_:Aig.lit list -> else_:Aig.lit list -> Aig.lit list
+
+(** [at_most_one aig lits] — no two literals simultaneously true. *)
+val at_most_one : Aig.t -> Aig.lit list -> Aig.lit
+
+(** [exactly_one aig lits]. *)
+val exactly_one : Aig.t -> Aig.lit list -> Aig.lit
+
+(** [popcount aig lits] — the number of true literals, as a word of
+    minimal width. *)
+val popcount : Aig.t -> Aig.lit list -> Aig.lit list
+
+(** [const_word aig ~width k] encodes a constant. *)
+val const_word : Aig.t -> width:int -> int -> Aig.lit list
+
+(** [rotate_left xs] rotates a word by one position towards the MSB. *)
+val rotate_left : Aig.lit list -> Aig.lit list

@@ -1,0 +1,119 @@
+type cone = { name : string; aig : Aig.t; root : Aig.lit; vars : Aig.var list }
+
+let fresh_inputs aig n = List.init n (fun _ -> Aig.fresh_var aig)
+let lits_of aig vars = List.map (Aig.var aig) vars
+
+let adder_carry n =
+  let aig = Aig.create () in
+  let xs = fresh_inputs aig n and ys = fresh_inputs aig n in
+  let _, carry = Arith.add aig (lits_of aig xs) (lits_of aig ys) ~cin:Aig.false_ in
+  { name = Printf.sprintf "adder%d" n; aig; root = carry; vars = xs @ ys }
+
+let carry_lookahead ?(bug = false) n =
+  let aig = Aig.create () in
+  let xs = fresh_inputs aig n and ys = fresh_inputs aig n in
+  let xl = Array.of_list (lits_of aig xs) and yl = Array.of_list (lits_of aig ys) in
+  (* generate/propagate prefix form: c_{i+1} = g_i | p_i & c_i expanded to
+     c_n = OR_i (g_i & AND_{j>i} p_j) *)
+  let g i = Aig.and_ aig xl.(i) yl.(i) in
+  let p i = Aig.or_ aig xl.(i) yl.(i) in
+  let terms =
+    List.init n (fun i ->
+        if bug && i = n / 2 then Aig.false_ (* dropped generate term *)
+        else begin
+          let prop_above = ref (g i) in
+          for j = i + 1 to n - 1 do
+            prop_above := Aig.and_ aig !prop_above (p j)
+          done;
+          !prop_above
+        end)
+  in
+  let root = Aig.or_list aig terms in
+  {
+    name = Printf.sprintf "cla%s%d" (if bug then "-bug" else "") n;
+    aig;
+    root;
+    vars = xs @ ys;
+  }
+
+let multiplier_bit n =
+  let aig = Aig.create () in
+  let xs = fresh_inputs aig n and ys = fresh_inputs aig n in
+  let xl = Array.of_list (lits_of aig xs) and yl = Array.of_list (lits_of aig ys) in
+  (* array multiplier: accumulate partial products row by row, keeping the
+     low 2n bits *)
+  let width = 2 * n in
+  let acc = ref (List.init width (fun _ -> Aig.false_)) in
+  for row = 0 to n - 1 do
+    let partial =
+      List.init width (fun c ->
+          let k = c - row in
+          if k >= 0 && k < n then Aig.and_ aig yl.(row) xl.(k) else Aig.false_)
+    in
+    let sum, _ = Arith.add aig !acc partial ~cin:Aig.false_ in
+    acc := sum
+  done;
+  let root = List.nth !acc (n - 1) in
+  { name = Printf.sprintf "mult%d" n; aig; root; vars = xs @ ys }
+
+let hwb n =
+  let aig = Aig.create () in
+  let xs = fresh_inputs aig n in
+  let xl = Array.of_list (lits_of aig xs) in
+  let weight = Arith.popcount aig (Array.to_list xl) in
+  (* select x_{weight}; weight = 0 yields constant false *)
+  let root = ref Aig.false_ in
+  for i = 1 to n do
+    let sel = Arith.equal_const aig weight i in
+    root := Aig.or_ aig !root (Aig.and_ aig sel xl.(i - 1))
+  done;
+  { name = Printf.sprintf "hwb%d" n; aig; root = !root; vars = xs }
+
+let parity n =
+  let aig = Aig.create () in
+  let xs = fresh_inputs aig n in
+  let root = List.fold_left (Aig.xor_ aig) Aig.false_ (lits_of aig xs) in
+  { name = Printf.sprintf "parity%d" n; aig; root; vars = xs }
+
+let majority n =
+  let aig = Aig.create () in
+  let xs = fresh_inputs aig n in
+  let weight = Arith.popcount aig (lits_of aig xs) in
+  let root = Aig.not_ (Arith.less_const aig weight ((n / 2) + 1)) in
+  { name = Printf.sprintf "maj%d" n; aig; root; vars = xs }
+
+let random_cone ~vars ~gates ~seed =
+  let aig = Aig.create () in
+  let xs = fresh_inputs aig vars in
+  let prng = Util.Prng.create seed in
+  let pool = ref (Array.of_list (lits_of aig xs)) in
+  let pick () =
+    let a = !pool in
+    let l = a.(Util.Prng.int prng (Array.length a)) in
+    if Util.Prng.bool prng then Aig.not_ l else l
+  in
+  for _ = 1 to gates do
+    let g = Aig.and_ aig (pick ()) (pick ()) in
+    let a = !pool in
+    let a' = Array.make (Array.length a + 1) g in
+    Array.blit a 0 a' 0 (Array.length a);
+    pool := a'
+  done;
+  (* xor a handful of gates together so the output cone covers a healthy
+     share of the generated logic (a single last gate often simplifies to
+     a tiny cone) *)
+  let root = ref (pick ()) in
+  for _ = 1 to 4 do
+    root := Aig.xor_ aig !root (pick ())
+  done;
+  { name = Printf.sprintf "rand%d-%d" vars gates; aig; root = !root; vars = xs }
+
+let catalogue =
+  [
+    ("adder", adder_carry);
+    ("mult", multiplier_bit);
+    ("hwb", hwb);
+    ("parity", parity);
+    ("majority", majority);
+    ("random", fun n -> random_cone ~vars:n ~gates:(8 * n) ~seed:7);
+  ]

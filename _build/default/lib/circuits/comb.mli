@@ -1,0 +1,42 @@
+(** Combinational benchmark cones for the quantification experiments.
+
+    Each generator returns a fresh manager, the output literal, and the
+    input variables in declaration order. These cones are the workloads of
+    the quantification-size and merge-ablation experiments (T1, T2, T6,
+    F2): the multiplier and hidden-weighted-bit cones are classic
+    BDD-hostile functions, so they exhibit the canonical-representation
+    blow-up the paper motivates against; parity and adders are
+    BDD-friendly controls. *)
+
+type cone = { name : string; aig : Aig.t; root : Aig.lit; vars : Aig.var list }
+
+(** Carry-out of an [n]-bit ripple-carry adder (2n inputs). *)
+val adder_carry : int -> cone
+
+(** Carry-out of an [n]-bit carry-lookahead adder: same function as
+    {!adder_carry}, very different structure — the classic combinational
+    equivalence-checking pair. With [~bug:true] one generate term is
+    dropped, making the pair inequivalent (for testing refutation). *)
+val carry_lookahead : ?bug:bool -> int -> cone
+
+(** Middle output bit (index n-1) of an [n]×[n] array multiplier
+    (2n inputs) — exponential for every BDD variable order. *)
+val multiplier_bit : int -> cone
+
+(** Hidden weighted bit on [n] inputs: output is [x_{wt(x)}]
+    ([0] when the weight is 0) — BDD-hard, AIG-friendly. *)
+val hwb : int -> cone
+
+(** XOR chain over [n] inputs (BDD-friendly control). *)
+val parity : int -> cone
+
+(** Majority vote over [n] inputs. *)
+val majority : int -> cone
+
+(** Random AND/INV cone: [gates] two-input gates over [vars] inputs with
+    random complemented edges, output at the last gate. Deterministic in
+    [seed]. *)
+val random_cone : vars:int -> gates:int -> seed:int -> cone
+
+(** All generators at a small default size, for sweeps. *)
+val catalogue : (string * (int -> cone)) list

@@ -1,0 +1,264 @@
+module B = Netlist.Builder
+
+let connect_word b qs nexts = List.iter2 (B.connect b) qs nexts
+
+let counter ~bits =
+  let b = B.create (Printf.sprintf "counter%d" bits) in
+  let aig = B.aig b in
+  let enable = B.input b in
+  let c = B.latches b ~init:false bits in
+  let inc = Arith.add_const aig c 1 in
+  connect_word b c (Arith.mux aig enable ~then_:inc ~else_:c);
+  B.set_property b (Aig.not_ (Aig.and_list aig c));
+  B.finish b
+
+let counter_even ~bits =
+  let b = B.create (Printf.sprintf "counter-even%d" bits) in
+  let aig = B.aig b in
+  let enable = B.input b in
+  let c = B.latches b ~init:false bits in
+  let inc2 = Arith.add_const aig c 2 in
+  connect_word b c (Arith.mux aig enable ~then_:inc2 ~else_:c);
+  (match c with
+  | bit0 :: _ -> B.set_property b (Aig.not_ bit0)
+  | [] -> invalid_arg "counter_even: bits must be positive");
+  B.finish b
+
+(* gray code of a word: g_i = b_i xor b_{i+1}, g_{n-1} = b_{n-1} *)
+let gray_of aig word =
+  let arr = Array.of_list word in
+  let n = Array.length arr in
+  List.init n (fun i -> if i = n - 1 then arr.(i) else Aig.xor_ aig arr.(i) arr.(i + 1))
+
+let gray_counter ~bits =
+  let b = B.create (Printf.sprintf "gray%d" bits) in
+  let aig = B.aig b in
+  let enable = B.input b in
+  let c = B.latches b ~init:false bits in
+  let prev = B.latches b ~init:false bits in
+  let inc = Arith.add_const aig c 1 in
+  connect_word b c (Arith.mux aig enable ~then_:inc ~else_:c);
+  let gray_now = gray_of aig c in
+  connect_word b prev gray_now;
+  let diff = List.map2 (fun g p -> Aig.xor_ aig g p) gray_now prev in
+  B.set_property b (Arith.at_most_one aig diff);
+  B.finish b
+
+let shift aig ~incoming word =
+  ignore aig;
+  match List.rev word with
+  | [] -> []
+  | _ :: _ ->
+    let rec drop_last = function
+      | [] | [ _ ] -> []
+      | x :: rest -> x :: drop_last rest
+    in
+    incoming :: drop_last word
+
+let twin_shift ~bits =
+  let b = B.create (Printf.sprintf "twin-shift%d" bits) in
+  let aig = B.aig b in
+  let d = B.input b in
+  let r1 = B.latches b ~init:false bits in
+  let r2 = B.latches b ~init:false bits in
+  connect_word b r1 (shift aig ~incoming:d r1);
+  connect_word b r2 (shift aig ~incoming:d r2);
+  B.set_property b (Arith.equal aig r1 r2);
+  B.finish b
+
+(* ones in the even positions counted from the oldest (top) slot, so the
+   oldest slot is set and a full fill is required *)
+let alternating_pattern bits = List.init bits (fun i -> (bits - 1 - i) mod 2 = 0)
+
+let shift_pattern ~bits =
+  let b = B.create (Printf.sprintf "shift-pattern%d" bits) in
+  let aig = B.aig b in
+  let d = B.input b in
+  let r = B.latches b ~init:false bits in
+  connect_word b r (shift aig ~incoming:d r);
+  let pattern = alternating_pattern bits in
+  let hit =
+    Aig.and_list aig (List.map2 (fun q p -> if p then q else Aig.not_ q) r pattern)
+  in
+  B.set_property b (Aig.not_ hit);
+  B.finish b
+
+let lfsr ~bits =
+  if bits < 2 then invalid_arg "Families.lfsr: bits must be >= 2";
+  let b = B.create (Printf.sprintf "lfsr%d" bits) in
+  let aig = B.aig b in
+  let hold = B.input b in
+  (* seed 1: bit 0 starts set *)
+  let s0 = B.latch b ~init:true in
+  let s = s0 :: B.latches b ~init:false (bits - 1) in
+  let msb = List.nth s (bits - 1) in
+  (* the shifted-out bit appears in the feedback, so the update is
+     invertible and the zero state has no other predecessor *)
+  let feedback = Aig.xor_ aig msb s0 in
+  let shifted = shift aig ~incoming:feedback s in
+  connect_word b s (Arith.mux aig hold ~then_:s ~else_:shifted);
+  B.set_property b (Aig.or_list aig s);
+  B.finish b
+
+let rr_arbiter ~n =
+  let b = B.create (Printf.sprintf "arbiter%d" n) in
+  let aig = B.aig b in
+  let reqs = B.inputs b n in
+  (* one-hot token, initialized at position 0 *)
+  let token0 = B.latch b ~init:true in
+  let tokens = token0 :: B.latches b ~init:false (n - 1) in
+  connect_word b tokens (Arith.rotate_left tokens);
+  let grants = B.latches b ~init:false n in
+  connect_word b grants (List.map2 (Aig.and_ aig) reqs tokens);
+  B.set_property b (Arith.at_most_one aig grants);
+  B.finish b
+
+let traffic () =
+  let b = B.create "traffic" in
+  let aig = B.aig b in
+  let car_ns = B.input b and car_ew = B.input b in
+  (* 2-bit phase: 00 NS-green, 01 NS-yellow, 10 EW-green, 11 EW-yellow *)
+  let st = B.latches b ~init:false 2 in
+  let tm = B.latches b ~init:false 2 in
+  let timer_done = Arith.equal_const aig tm 3 in
+  let is_green_ns = Arith.equal_const aig st 0 in
+  let is_green_ew = Arith.equal_const aig st 2 in
+  (* greens advance only when a cross-road car waits; yellows always *)
+  let pressure =
+    Aig.or_ aig
+      (Aig.and_ aig is_green_ns car_ew)
+      (Aig.or_ aig (Aig.and_ aig is_green_ew car_ns)
+         (Aig.and_ aig (Aig.not_ is_green_ns) (Aig.not_ is_green_ew)))
+  in
+  let advance = Aig.and_ aig timer_done pressure in
+  let st_next = Arith.mux aig advance ~then_:(Arith.add_const aig st 1) ~else_:st in
+  connect_word b st st_next;
+  let tm_next =
+    Arith.mux aig advance
+      ~then_:(Arith.const_word aig ~width:2 0)
+      ~else_:(Arith.add_const aig tm 1)
+  in
+  connect_word b tm tm_next;
+  let ns_green = B.latch b ~init:true in
+  let ew_green = B.latch b ~init:false in
+  B.connect b ns_green (Arith.equal_const aig st_next 0);
+  B.connect b ew_green (Arith.equal_const aig st_next 2);
+  B.set_property b (Aig.not_ (Aig.and_ aig ns_green ew_green));
+  B.finish b
+
+let fifo ?(buggy = false) ~depth_log () =
+  let name = Printf.sprintf "fifo%s%d" (if buggy then "-buggy" else "") depth_log in
+  let b = B.create name in
+  let aig = B.aig b in
+  let push = B.input b and pop = B.input b in
+  let width = depth_log + 1 in
+  let depth = 1 lsl depth_log in
+  let cnt = B.latches b ~init:false width in
+  let empty = Arith.equal_const aig cnt 0 in
+  let full = Aig.not_ (Arith.less_const aig cnt depth) in
+  let do_push = if buggy then push else Aig.and_ aig push (Aig.not_ full) in
+  let do_pop = Aig.and_ aig pop (Aig.not_ empty) in
+  let inc = Arith.add_const aig cnt 1 in
+  let dec = fst (Arith.sub aig cnt (Arith.const_word aig ~width 1)) in
+  let only_push = Aig.and_ aig do_push (Aig.not_ do_pop) in
+  let only_pop = Aig.and_ aig do_pop (Aig.not_ do_push) in
+  connect_word b cnt
+    (Arith.mux aig only_push ~then_:inc ~else_:(Arith.mux aig only_pop ~then_:dec ~else_:cnt));
+  B.set_property b (Arith.less_const aig cnt (depth + 1));
+  B.finish b
+
+let adder_accumulator ~bits =
+  let b = B.create (Printf.sprintf "accumulator%d" bits) in
+  let aig = B.aig b in
+  let x0 = B.input b and x1 = B.input b in
+  let acc = B.latches b ~init:false bits in
+  let addend =
+    x0 :: (if bits > 1 then x1 :: List.init (bits - 2) (fun _ -> Aig.false_) else [])
+  in
+  connect_word b acc (fst (Arith.add aig acc addend ~cin:Aig.false_));
+  B.set_property b (Aig.not_ (Aig.and_list aig acc));
+  B.finish b
+
+let peterson () =
+  let b = B.create "peterson" in
+  let aig = B.aig b in
+  let sched = B.input b in
+  (* per process: flag, 2-bit location (00 idle / 01 try / 10 critical) *)
+  let f0 = B.latch b ~init:false and f1 = B.latch b ~init:false in
+  let turn = B.latch b ~init:false in
+  let l0a = B.latch b ~init:false and l0b = B.latch b ~init:false in
+  let l1a = B.latch b ~init:false and l1b = B.latch b ~init:false in
+  let process ~active ~la ~lb ~flag ~other_flag ~turn_is_mine =
+    let is_idle = Aig.and_ aig (Aig.not_ la) (Aig.not_ lb) in
+    let is_try = la in
+    let is_crit = lb in
+    let can_enter = Aig.or_ aig (Aig.not_ other_flag) turn_is_mine in
+    let la' = Aig.or_ aig is_idle (Aig.and_ aig is_try (Aig.not_ can_enter)) in
+    let lb' = Aig.and_ aig is_try can_enter in
+    let flag' = Aig.or_ aig is_idle is_try in
+    let hold l l' = Aig.ite aig active l' l in
+    (hold la la', hold lb lb', hold flag flag', Aig.and_ aig active is_idle, is_crit)
+  in
+  let act0 = Aig.not_ sched and act1 = sched in
+  let l0a', l0b', f0', entering0, crit0 =
+    process ~active:act0 ~la:l0a ~lb:l0b ~flag:f0 ~other_flag:f1
+      ~turn_is_mine:(Aig.not_ turn)
+  in
+  let l1a', l1b', f1', entering1, crit1 =
+    process ~active:act1 ~la:l1a ~lb:l1b ~flag:f1 ~other_flag:f0 ~turn_is_mine:turn
+  in
+  (* entering process yields the turn to the other *)
+  let turn' =
+    Aig.ite aig entering0 Aig.true_ (Aig.ite aig entering1 Aig.false_ turn)
+  in
+  B.connect b f0 f0';
+  B.connect b f1 f1';
+  B.connect b turn turn';
+  B.connect b l0a l0a';
+  B.connect b l0b l0b';
+  B.connect b l1a l1a';
+  B.connect b l1b l1b';
+  B.set_property b (Aig.not_ (Aig.and_ aig crit0 crit1));
+  B.finish b
+
+let johnson ~bits =
+  if bits < 3 then invalid_arg "Families.johnson: bits must be >= 3";
+  let b = B.create (Printf.sprintf "johnson%d" bits) in
+  let aig = B.aig b in
+  let enable = B.input b in
+  let s = B.latches b ~init:false bits in
+  (* twisted ring: shift with the complemented last bit fed back *)
+  let msb = List.nth s (bits - 1) in
+  let shifted = shift aig ~incoming:(Aig.not_ msb) s in
+  connect_word b s (Arith.mux aig enable ~then_:shifted ~else_:s);
+  (match s with
+  | s0 :: s1 :: s2 :: _ ->
+    B.set_property b (Aig.not_ (Aig.and_list aig [ s0; Aig.not_ s1; s2 ]))
+  | _ -> assert false);
+  B.finish b
+
+let tmr ~bits =
+  let b = B.create (Printf.sprintf "tmr%d" bits) in
+  let aig = B.aig b in
+  let enable = B.input b in
+  let replica () =
+    let c = B.latches b ~init:false bits in
+    let inc = Arith.add_const aig c 1 in
+    connect_word b c (Arith.mux aig enable ~then_:inc ~else_:c);
+    c
+  in
+  let r0 = replica () and r1 = replica () and r2 = replica () in
+  (* bitwise 2-out-of-3 majority, registered *)
+  let voted = B.latches b ~init:false bits in
+  let majority3 a b_ c =
+    Aig.or_ aig (Aig.and_ aig a b_) (Aig.or_ aig (Aig.and_ aig a c) (Aig.and_ aig b_ c))
+  in
+  let next_vote =
+    List.map2 (fun (a, b_) c -> majority3 a b_ c) (List.combine r0 r1) r2
+  in
+  connect_word b voted next_vote;
+  (* shadow of replica 0, registered the same way, must equal the vote *)
+  let shadow = B.latches b ~init:false bits in
+  connect_word b shadow r0;
+  B.set_property b (Arith.equal aig voted shadow);
+  B.finish b

@@ -1,0 +1,74 @@
+(** Parametric sequential benchmark families.
+
+    The paper evaluates on unnamed "hard-to-verify circuits and
+    properties"; these synthetic families substitute for them (see
+    DESIGN.md §2) while keeping the verification status — and for unsafe
+    families the exact shortest-counterexample length — known by
+    construction, which the test suite exploits as an oracle. *)
+
+(** [counter ~bits] — enabled binary up-counter; property: the all-ones
+    value is never reached. Unsafe, shortest counterexample [2^bits - 1]
+    steps. *)
+val counter : bits:int -> Netlist.Model.t
+
+(** [counter_even ~bits] — counts by two from zero; property: bit 0 stays
+    clear. Safe. *)
+val counter_even : bits:int -> Netlist.Model.t
+
+(** [gray_counter ~bits] — binary counter plus registered Gray encoding of
+    the previous count; property: current and previous Gray codes differ
+    in at most one bit. Safe. *)
+val gray_counter : bits:int -> Netlist.Model.t
+
+(** [twin_shift ~bits] — two shift registers fed by the same input;
+    property: their contents agree. Safe, and the backward state sets have
+    highly similar quantification cofactors (the merge-friendly case). *)
+val twin_shift : bits:int -> Netlist.Model.t
+
+(** [shift_pattern ~bits] — shift register; property: a fixed alternating
+    pattern (with a one in the oldest slot) never appears. Unsafe,
+    shortest counterexample [bits] steps. *)
+val shift_pattern : bits:int -> Netlist.Model.t
+
+(** [lfsr ~bits] — Fibonacci LFSR with a hold input, seeded at 1;
+    property: the state never becomes zero. Safe (the feedback taps make
+    the update invertible). Requires [bits >= 2]. *)
+val lfsr : bits:int -> Netlist.Model.t
+
+(** [rr_arbiter ~n] — rotating-token arbiter with registered grants;
+    property: at most one grant. Safe; [n] request inputs make it the
+    input-quantification stress family. *)
+val rr_arbiter : n:int -> Netlist.Model.t
+
+(** [traffic ()] — two-road traffic-light controller with sensors;
+    property: the two green lights are mutually exclusive. Safe. *)
+val traffic : unit -> Netlist.Model.t
+
+(** [fifo ?buggy ~depth_log] — occupancy counter of a synchronous FIFO of
+    depth [2^depth_log]; property: occupancy never exceeds the depth.
+    Safe when guarded; with [~buggy:true] the push guard is omitted and
+    the property fails after [2^depth_log + 1] pushes. *)
+val fifo : ?buggy:bool -> depth_log:int -> unit -> Netlist.Model.t
+
+(** [adder_accumulator ~bits] — accumulator adding a 2-bit input each
+    step; property: the all-ones value is never reached. Unsafe, shortest
+    counterexample [ceil((2^bits - 1) / 3)] steps. *)
+val adder_accumulator : bits:int -> Netlist.Model.t
+
+(** [peterson ()] — Peterson's mutual-exclusion protocol for two
+    processes with a scheduler input; property: both processes are never
+    simultaneously critical. Safe. *)
+val peterson : unit -> Netlist.Model.t
+
+(** [johnson ~bits] — Johnson (twisted-ring) counter with an enable input;
+    property: the pattern [1 0 1] never appears in the three lowest
+    positions (its states always have at most one cyclic 0/1 boundary
+    prefix shape). Safe; requires [bits >= 3]. *)
+val johnson : bits:int -> Netlist.Model.t
+
+(** [tmr ~bits] — triple modular redundancy: three identical enabled
+    counters behind a bitwise majority voter, with registered voter
+    output; property: the voter agrees with the first replica. Safe, and
+    the three replicated cones make it the merge-heaviest sequential
+    family. *)
+val tmr : bits:int -> Netlist.Model.t

@@ -1,0 +1,126 @@
+type status = Safe | Unsafe of int
+
+type entry = {
+  name : string;
+  description : string;
+  default_param : int;
+  make : int -> Netlist.Model.t;
+  status : int -> status;
+}
+
+let all =
+  [
+    {
+      name = "counter";
+      description = "enabled up-counter; all-ones reachable";
+      default_param = 4;
+      make = (fun n -> Families.counter ~bits:n);
+      status = (fun n -> Unsafe ((1 lsl n) - 1));
+    };
+    {
+      name = "counter-even";
+      description = "counts by two; bit 0 stays clear";
+      default_param = 6;
+      make = (fun n -> Families.counter_even ~bits:n);
+      status = (fun _ -> Safe);
+    };
+    {
+      name = "gray";
+      description = "Gray-code step invariant over a binary counter";
+      default_param = 4;
+      make = (fun n -> Families.gray_counter ~bits:n);
+      status = (fun _ -> Safe);
+    };
+    {
+      name = "twin-shift";
+      description = "two shift registers with one input stay equal";
+      default_param = 6;
+      make = (fun n -> Families.twin_shift ~bits:n);
+      status = (fun _ -> Safe);
+    };
+    {
+      name = "shift-pattern";
+      description = "shift register reaches an alternating pattern";
+      default_param = 6;
+      make = (fun n -> Families.shift_pattern ~bits:n);
+      status = (fun n -> Unsafe n);
+    };
+    {
+      name = "lfsr";
+      description = "Fibonacci LFSR never reaches zero";
+      default_param = 5;
+      make = (fun n -> Families.lfsr ~bits:n);
+      status = (fun _ -> Safe);
+    };
+    {
+      name = "arbiter";
+      description = "rotating-token arbiter grants at most once";
+      default_param = 4;
+      make = (fun n -> Families.rr_arbiter ~n);
+      status = (fun _ -> Safe);
+    };
+    {
+      name = "traffic";
+      description = "traffic-light controller greens are exclusive";
+      default_param = 0;
+      make = (fun _ -> Families.traffic ());
+      status = (fun _ -> Safe);
+    };
+    {
+      name = "fifo";
+      description = "guarded FIFO occupancy stays within depth";
+      default_param = 3;
+      make = (fun n -> Families.fifo ~depth_log:n ());
+      status = (fun _ -> Safe);
+    };
+    {
+      name = "fifo-buggy";
+      description = "unguarded FIFO occupancy overflows";
+      default_param = 3;
+      make = (fun n -> Families.fifo ~buggy:true ~depth_log:n ());
+      status = (fun n -> Unsafe ((1 lsl n) + 1));
+    };
+    {
+      name = "accumulator";
+      description = "2-bit-step accumulator reaches all-ones";
+      default_param = 4;
+      make = (fun n -> Families.adder_accumulator ~bits:n);
+      status = (fun n -> Unsafe (((1 lsl n) - 1 + 2) / 3));
+    };
+    {
+      name = "peterson";
+      description = "Peterson mutual exclusion";
+      default_param = 0;
+      make = (fun _ -> Families.peterson ());
+      status = (fun _ -> Safe);
+    };
+    {
+      name = "johnson";
+      description = "Johnson counter avoids the 101 prefix";
+      default_param = 5;
+      make = (fun n -> Families.johnson ~bits:n);
+      status = (fun _ -> Safe);
+    };
+    {
+      name = "tmr";
+      description = "triple-modular-redundant counter voter agreement";
+      default_param = 3;
+      make = (fun n -> Families.tmr ~bits:n);
+      status = (fun _ -> Safe);
+    };
+  ]
+
+let find name = List.find_opt (fun e -> e.name = name) all
+
+let build name param =
+  match find name with
+  | None -> failwith (Printf.sprintf "unknown circuit %S; try one of the registry names" name)
+  | Some e ->
+    let p = Option.value param ~default:e.default_param in
+    (e.make p, e.status p)
+
+let pp_list ppf () =
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "  %-14s (default %2d)  %s@." e.name e.default_param e.description)
+    all

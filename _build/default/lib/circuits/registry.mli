@@ -1,0 +1,25 @@
+(** Name-indexed access to the benchmark families, with verification-status
+    oracles for tests and experiment tables. *)
+
+(** Verification status known by construction. [Unsafe k]: the shortest
+    counterexample reaches a bad state after exactly [k] transitions. *)
+type status = Safe | Unsafe of int
+
+type entry = {
+  name : string;
+  description : string;
+  default_param : int;
+  make : int -> Netlist.Model.t;
+  status : int -> status;
+}
+
+val all : entry list
+
+(** [find name] — lookup by entry name. *)
+val find : string -> entry option
+
+(** [build name param] — construct, falling back to the default parameter
+    when [param] is [None]. Raises [Failure] on unknown names. *)
+val build : string -> int option -> Netlist.Model.t * status
+
+val pp_list : Format.formatter -> unit -> unit

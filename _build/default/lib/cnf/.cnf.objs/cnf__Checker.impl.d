@@ -1,0 +1,1 @@
+lib/cnf/checker.ml: Aig List Sat Tseitin

@@ -1,0 +1,1 @@
+lib/cnf/checker.mli: Aig Sat Tseitin

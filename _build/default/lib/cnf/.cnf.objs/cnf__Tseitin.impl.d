@@ -1,0 +1,1 @@
+lib/cnf/tseitin.ml: Aig Hashtbl List Sat

@@ -1,0 +1,1 @@
+lib/cnf/tseitin.mli: Aig Sat

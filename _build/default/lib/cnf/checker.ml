@@ -1,0 +1,69 @@
+type answer = Yes | No | Maybe
+
+type t = {
+  ts : Tseitin.t;
+  mutable conflict_limit : int option;
+  mutable queries : int;
+  mutable cutoffs : int;
+}
+
+let create aig = { ts = Tseitin.create aig; conflict_limit = None; queries = 0; cutoffs = 0 }
+let tseitin t = t.ts
+let aig t = Tseitin.aig t.ts
+let set_conflict_limit t n = t.conflict_limit <- n
+
+let satisfiable t lits =
+  t.queries <- t.queries + 1;
+  (* constant short-cuts avoid touching the solver *)
+  if List.exists (fun l -> l = Aig.false_) lits then No
+  else begin
+    let assumptions = List.map (Tseitin.sat_lit t.ts) lits in
+    let result =
+      match t.conflict_limit with
+      | None -> Sat.Solver.solve ~assumptions (Tseitin.solver t.ts)
+      | Some budget -> Sat.Solver.solve ~assumptions ~conflict_limit:budget (Tseitin.solver t.ts)
+    in
+    match result with
+    | Sat.Solver.Sat -> Yes
+    | Sat.Solver.Unsat -> No
+    | Sat.Solver.Unknown ->
+      t.cutoffs <- t.cutoffs + 1;
+      Maybe
+  end
+
+let neg_answer = function Yes -> No | No -> Yes | Maybe -> Maybe
+let valid t l = neg_answer (satisfiable t [ Aig.not_ l ])
+
+let both a b =
+  match (a, b) with
+  | No, No -> Yes
+  | Yes, _ | _, Yes -> No
+  | Maybe, _ | _, Maybe -> Maybe
+
+(* a = b iff neither (a & ~b) nor (~a & b) is satisfiable. The first
+   satisfiable check short-circuits the second and leaves its model as the
+   distinguishing witness. *)
+let equal t a b =
+  if a = b then Yes
+  else if a = Aig.not_ b then No
+  else
+    let left = satisfiable t [ a; Aig.not_ b ] in
+    if left = Yes then No
+    else both left (satisfiable t [ Aig.not_ a; b ])
+
+let equal_under t ~care a b =
+  if a = b then Yes
+  else
+    let left = satisfiable t [ care; a; Aig.not_ b ] in
+    if left = Yes then No
+    else both left (satisfiable t [ care; Aig.not_ a; b ])
+
+let implies t a b =
+  if a = b || a = Aig.false_ || b = Aig.true_ then Yes
+  else neg_answer (satisfiable t [ a; Aig.not_ b ])
+
+let model_var t v = Tseitin.model_var t.ts v
+let model t vars = List.map (fun v -> (v, model_var t v)) vars
+let queries t = t.queries
+let budget_cutoffs t = t.cutoffs
+let solver_stats t = Sat.Solver.stats (Tseitin.solver t.ts)

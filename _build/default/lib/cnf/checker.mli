@@ -1,0 +1,54 @@
+(** SAT-backed Boolean queries on AIG literals over one shared clause
+    database.
+
+    All queries are expressed with solver {e assumptions} over the
+    permanently-encoded Tseitin clauses, so nothing ever needs retracting
+    and the learned clauses from one check speed up the next — the paper's
+    factorized "SAT-merge" discipline. A conflict budget turns every query
+    into a three-valued answer so callers can degrade gracefully (partial
+    quantification aborts, sweeping skips hard pairs). *)
+
+type t
+
+(** Three-valued query answer. *)
+type answer = Yes | No | Maybe
+
+val create : Aig.t -> t
+val tseitin : t -> Tseitin.t
+val aig : t -> Aig.t
+
+(** [set_conflict_limit t n] bounds every subsequent query ([None] removes
+    the bound). *)
+val set_conflict_limit : t -> int option -> unit
+
+(** [satisfiable t lits] — is the conjunction of [lits] satisfiable?
+    After [Yes], {!model_var} reads the witness. *)
+val satisfiable : t -> Aig.lit list -> answer
+
+(** [valid t l] — is [l] a tautology? *)
+val valid : t -> Aig.lit -> answer
+
+(** [equal t a b] — do [a] and [b] denote the same function? *)
+val equal : t -> Aig.lit -> Aig.lit -> answer
+
+(** [equal_under t ~care a b] — are [a] and [b] equal on the onset of
+    [care]? (Outside it they may differ: [care]'s offset is the don't-care
+    set.) *)
+val equal_under : t -> care:Aig.lit -> Aig.lit -> Aig.lit -> answer
+
+(** [implies t a b] — does [a] entail [b]? *)
+val implies : t -> Aig.lit -> Aig.lit -> answer
+
+(** Witness access after a [Yes] from {!satisfiable} (or a [No] from the
+    universal queries, whose refutation is a satisfying counterexample). *)
+val model_var : t -> Aig.var -> bool
+
+(** The last witness restricted to the given variables, as a (var, value)
+    list. *)
+val model : t -> Aig.var list -> (Aig.var * bool) list
+
+(** Number of queries answered so far, and of those cut off by the budget. *)
+val queries : t -> int
+
+val budget_cutoffs : t -> int
+val solver_stats : t -> Sat.Solver.stats

@@ -1,0 +1,69 @@
+type t = {
+  aig : Aig.t;
+  solver : Sat.Solver.t;
+  node_var : (int, int) Hashtbl.t; (* AIG node id -> SAT variable *)
+  mutable const_var : int; (* SAT variable constrained to true, or -1 *)
+}
+
+let create aig = { aig; solver = Sat.Solver.create (); node_var = Hashtbl.create 256; const_var = -1 }
+let solver t = t.solver
+let aig t = t.aig
+let encoded_nodes t = Hashtbl.length t.node_var
+
+let const_true_var t =
+  if t.const_var < 0 then begin
+    let v = Sat.Solver.new_var t.solver in
+    ignore (Sat.Solver.add_clause t.solver [ Sat.Lit.pos v ]);
+    t.const_var <- v
+  end;
+  t.const_var
+
+let node_sat_var t n =
+  match Hashtbl.find_opt t.node_var n with
+  | Some v -> v
+  | None ->
+    let v = Sat.Solver.new_var t.solver in
+    Hashtbl.replace t.node_var n v;
+    v
+
+(* The constant node maps to the always-true variable complemented:
+   node 0 is FALSE, so its positive literal must be the negation. *)
+let sat_lit t l =
+  let n = Aig.node_of_lit l in
+  if n = 0 then begin
+    let v = const_true_var t in
+    if Aig.is_complemented l then Sat.Lit.pos v else Sat.Lit.neg_of v
+  end
+  else begin
+    (* encode any not-yet-encoded AND nodes of the cone, fanins first *)
+    let fresh =
+      List.filter (fun m -> not (Hashtbl.mem t.node_var m)) (Aig.cone t.aig [ l ])
+    in
+    List.iter
+      (fun m ->
+        let f0, f1 = Aig.fanins t.aig m in
+        let sl lit =
+          let m = Aig.node_of_lit lit in
+          if m = 0 then
+            if Aig.is_complemented lit then Sat.Lit.pos (const_true_var t)
+            else Sat.Lit.neg_of (const_true_var t)
+          else Sat.Lit.make (node_sat_var t m) (Aig.is_complemented lit)
+        in
+        let a = sl f0 and b = sl f1 in
+        let nv = node_sat_var t m in
+        let np = Sat.Lit.pos nv and nn = Sat.Lit.neg_of nv in
+        ignore (Sat.Solver.add_clause t.solver [ nn; a ]);
+        ignore (Sat.Solver.add_clause t.solver [ nn; b ]);
+        ignore (Sat.Solver.add_clause t.solver [ np; Sat.Lit.neg a; Sat.Lit.neg b ]))
+      fresh;
+    let v = node_sat_var t n in
+    Sat.Lit.make v (Aig.is_complemented l)
+  end
+
+let model_var t v =
+  if v >= Aig.num_vars t.aig then false
+  else
+    let leaf = Aig.var t.aig v in
+    match Hashtbl.find_opt t.node_var (Aig.node_of_lit leaf) with
+    | None -> false
+    | Some sv -> ( match Sat.Solver.value t.solver sv with Some b -> b | None -> false)

@@ -1,0 +1,28 @@
+(** Incremental Tseitin encoding of AIG cones into a SAT solver.
+
+    Each AIG node receives at most one SAT variable, allocated the first
+    time the node enters a query cone; the three AND-gate clauses are added
+    once and stay in the solver forever. This realizes the paper's scheme
+    of loading the clause database {e once and for-all} and factorizing
+    many equivalence checks within a single solver instance, so learned
+    clauses accumulate across checks. *)
+
+type t
+
+val create : Aig.t -> t
+
+(** The underlying solver (for stats or direct clause addition). *)
+val solver : t -> Sat.Solver.t
+
+val aig : t -> Aig.t
+
+(** [sat_lit t l] is the SAT literal equivalent to AIG literal [l],
+    encoding the cone of [l] into the solver if not already present. *)
+val sat_lit : t -> Aig.lit -> Sat.Lit.t
+
+(** Number of AIG nodes currently encoded. *)
+val encoded_nodes : t -> int
+
+(** [model_var t v] reads AIG variable [v] from the last SAT model
+    (variables without an encoded leaf or left free default to [false]). *)
+val model_var : t -> Aig.var -> bool

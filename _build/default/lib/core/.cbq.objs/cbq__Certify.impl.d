@@ -1,0 +1,1 @@
+lib/core/certify.ml: Aig Cnf Format Netlist

@@ -1,0 +1,1 @@
+lib/core/forward.ml: Aig Cnf List Netlist Option Quantify Reachability Synth Unroll Util

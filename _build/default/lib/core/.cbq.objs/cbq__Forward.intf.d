@@ -1,0 +1,1 @@
+lib/core/forward.mli: Netlist Reachability

@@ -1,0 +1,1 @@
+lib/core/preimage.ml: Aig List Netlist Quantify

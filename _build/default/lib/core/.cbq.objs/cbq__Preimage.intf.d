@@ -1,0 +1,1 @@
+lib/core/preimage.mli: Aig Cnf Netlist Quantify Util

@@ -1,0 +1,1 @@
+lib/core/quantify.ml: Aig Array Format Hashtbl List Option Result Sweep Synth

@@ -1,0 +1,1 @@
+lib/core/quantify.mli: Aig Cnf Format Sweep Synth Util

@@ -1,0 +1,1 @@
+lib/core/reachability.ml: Aig Cnf Format List Netlist Option Preimage Quantify Synth Trace Unroll Util

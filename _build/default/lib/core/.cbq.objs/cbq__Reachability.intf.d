@@ -1,0 +1,1 @@
+lib/core/reachability.mli: Aig Format Netlist Quantify Trace

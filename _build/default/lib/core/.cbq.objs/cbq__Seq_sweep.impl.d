@@ -1,0 +1,1 @@
+lib/core/seq_sweep.ml: Aig Cnf Format Hashtbl Int64 List Netlist Util

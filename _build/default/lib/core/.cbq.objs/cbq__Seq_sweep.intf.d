@@ -1,0 +1,1 @@
+lib/core/seq_sweep.mli: Format Netlist

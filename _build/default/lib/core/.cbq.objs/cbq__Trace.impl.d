@@ -1,0 +1,1 @@
+lib/core/trace.ml: Aig Array Format List Netlist Option

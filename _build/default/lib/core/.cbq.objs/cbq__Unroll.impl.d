@@ -1,0 +1,1 @@
+lib/core/unroll.ml: Aig Array Hashtbl List Netlist Trace

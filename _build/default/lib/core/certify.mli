@@ -1,0 +1,24 @@
+(** Independent checking of proof certificates.
+
+    A safety proof is certified by an {e inductive invariant} [Inv] over
+    the state variables:
+
+    + {b initiation} — the initial states satisfy [Inv];
+    + {b consecution} — [Inv] is closed under the transition functions
+      for every input;
+    + {b safety} — [Inv] implies the property.
+
+    The three conditions are discharged by SAT on a fresh checker, so a
+    verdict can be validated without trusting the engine that produced it
+    (the paper's traversal emits [¬reached] as its certificate). *)
+
+type failure =
+  | Not_initial (* some initial state violates the invariant *)
+  | Not_inductive (* an invariant state can leave the invariant *)
+  | Not_safe (* an invariant state violates the property *)
+
+val pp_failure : Format.formatter -> failure -> unit
+
+(** [check m ~invariant] — [Ok ()] when [invariant] certifies the model's
+    property. The literal must be over the model's state variables. *)
+val check : Netlist.Model.t -> invariant:Aig.lit -> (unit, failure) result

@@ -1,0 +1,158 @@
+let exact_answer checker lits =
+  Cnf.Checker.set_conflict_limit checker None;
+  Cnf.Checker.satisfiable checker lits
+
+let sum_naive reports =
+  List.fold_left (fun acc r -> acc + r.Quantify.size_naive) 0 reports
+
+let run ?(config = Reachability.default) model =
+  let watch = Util.Stopwatch.start () in
+  let aig = Netlist.Model.aig model in
+  let checker = Cnf.Checker.create aig in
+  let prng = Util.Prng.create config.Reachability.seed in
+  let init = Netlist.Model.init_lit model in
+  let input_vars = Netlist.Model.input_vars model in
+  let state_vars = Netlist.Model.state_vars model in
+  let iterations = ref [] in
+  let peak = ref (Aig.size aig init) in
+  let finish ?invariant verdict =
+    {
+      Reachability.verdict;
+      iterations = List.rev !iterations;
+      total_seconds = Util.Stopwatch.elapsed watch;
+      peak_frontier = !peak;
+      sat_queries = Cnf.Checker.queries checker;
+      invariant;
+    }
+  in
+  let falsified hit_iteration =
+    let depth, trace =
+      if config.Reachability.make_trace then begin
+        let unroll = Unroll.create model in
+        let rec search d =
+          if d > hit_iteration + 64 then None
+          else
+            match exact_answer checker [ Unroll.bad_at unroll d ] with
+            | Cnf.Checker.Yes ->
+              Some
+                (d, Unroll.trace_from_model unroll ~depth:d ~value:(Cnf.Checker.model_var checker))
+            | Cnf.Checker.No | Cnf.Checker.Maybe -> search (d + 1)
+        in
+        match search hit_iteration with
+        | Some (d, t) -> (d, Some t)
+        | None -> (hit_iteration, None)
+      end
+      else (hit_iteration, None)
+    in
+    Reachability.Falsified { depth; trace }
+  in
+  (* bad states over the state variables (property inputs quantified) *)
+  let bad_raw = Aig.not_ model.Netlist.Model.property in
+  let bad_inputs = List.filter (fun v -> List.mem v input_vars) (Aig.support aig bad_raw) in
+  let bad_result =
+    Quantify.all ~config:config.Reachability.quant aig checker ~prng bad_raw ~vars:bad_inputs
+  in
+  let bad = bad_result.Quantify.lit in
+  let bad_clean = bad_result.Quantify.kept = [] in
+  (* primed variables standing for the next state in the relational image *)
+  let primed = List.map (fun l -> (l.Netlist.Model.state_var, Aig.fresh_var aig)) model.Netlist.Model.latches in
+  let transition =
+    Aig.and_list aig
+      (List.map
+         (fun l ->
+           let y = Aig.var aig (List.assoc l.Netlist.Model.state_var primed) in
+           Aig.iff_ aig y l.Netlist.Model.next)
+         model.Netlist.Model.latches)
+  in
+  let unprime v =
+    let back = List.find_opt (fun (_, y) -> y = v) primed in
+    Option.map (fun (s, _) -> Aig.var aig s) back
+  in
+  let aux_vars = ref [] in
+  (* Img(R): conjoin the transition relation, eliminate current-state,
+     input and residual variables, then rename primed to current *)
+  let image frontier =
+    let product = Aig.and_ aig transition frontier in
+    let support = Aig.support aig product in
+    let to_quantify =
+      List.filter
+        (fun v ->
+          List.mem v state_vars || List.mem v input_vars || List.mem v !aux_vars)
+        support
+    in
+    let q =
+      Quantify.all ~config:config.Reachability.quant aig checker ~prng product
+        ~vars:to_quantify
+    in
+    (* rename residual model variables so they cannot collide with the
+       next iteration's state/input variables *)
+    let residual_model_vars =
+      List.filter (fun v -> List.mem v state_vars || List.mem v input_vars) q.Quantify.kept
+    in
+    let renaming = List.map (fun v -> (v, Aig.fresh_var aig)) residual_model_vars in
+    let lit =
+      if renaming = [] then q.Quantify.lit
+      else
+        Aig.compose aig q.Quantify.lit ~subst:(fun v ->
+            Option.map (Aig.var aig) (List.assoc_opt v renaming))
+    in
+    aux_vars :=
+      List.map snd renaming
+      @ List.filter (fun v -> not (List.mem v q.Quantify.eliminated)) !aux_vars;
+    let renamed = Aig.compose aig lit ~subst:unprime in
+    (renamed, q)
+  in
+  if exact_answer checker [ init; bad ] = Cnf.Checker.Yes then finish (falsified 0)
+  else begin
+    let reached = ref init in
+    let frontier = ref init in
+    let rec loop k =
+      if k > config.Reachability.max_iterations then
+        finish (Reachability.Out_of_budget "iteration limit")
+      else begin
+        let step_watch = Util.Stopwatch.start () in
+        let img, q = image !frontier in
+        let img =
+          if config.Reachability.sweep_frontier then
+            fst (Synth.Opt.sweep_and_compact aig checker ~prng img)
+          else img
+        in
+        let img =
+          if config.Reachability.use_reached_dc then
+            fst
+              (Synth.Dontcare.simplify_under_care aig checker ~prng
+                 ~care:(Aig.not_ !reached) img)
+          else img
+        in
+        let fsize = Aig.size aig img in
+        if fsize > !peak then peak := fsize;
+        let reached' = Aig.or_ aig !reached img in
+        iterations :=
+          {
+            Reachability.index = k;
+            frontier_size = fsize;
+            reached_size = Aig.size aig reached';
+            eliminated_inputs = List.length q.Quantify.eliminated;
+            kept_inputs = List.length q.Quantify.kept;
+            naive_size = sum_naive q.Quantify.reports;
+            seconds = Util.Stopwatch.elapsed step_watch;
+          }
+          :: !iterations;
+        if exact_answer checker [ img; bad ] = Cnf.Checker.Yes then finish (falsified k)
+        else if exact_answer checker [ img; Aig.not_ !reached ] = Cnf.Checker.No then begin
+          (* forward certificate: the reached set itself is inductive,
+             contains the initial states, and avoids every bad state *)
+          let invariant =
+            if bad_clean && !aux_vars = [] then Some reached' else None
+          in
+          finish ?invariant Reachability.Proved
+        end
+        else begin
+          frontier := Aig.and_ aig img (Aig.not_ !reached);
+          reached := reached';
+          loop (k + 1)
+        end
+      end
+    in
+    loop 1
+  end

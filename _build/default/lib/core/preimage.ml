@@ -1,0 +1,27 @@
+type result = {
+  lit : Aig.lit;
+  substituted_size : int;
+  eliminated : Aig.var list;
+  kept : Aig.var list;
+  reports : Quantify.var_report list;
+}
+
+let substitute m b =
+  Aig.compose (Netlist.Model.aig m) b ~subst:(Netlist.Model.next_subst m)
+
+let compute ?config m checker ~prng ~frontier ~extra_vars =
+  let aig = Netlist.Model.aig m in
+  let inlined = substitute m frontier in
+  let support = Aig.support aig inlined in
+  let input_vars = Netlist.Model.input_vars m in
+  let to_quantify =
+    List.filter (fun v -> List.mem v input_vars || List.mem v extra_vars) support
+  in
+  let q = Quantify.all ?config aig checker ~prng inlined ~vars:to_quantify in
+  {
+    lit = q.Quantify.lit;
+    substituted_size = Aig.size aig inlined;
+    eliminated = q.Quantify.eliminated;
+    kept = q.Quantify.kept;
+    reports = q.Quantify.reports;
+  }

@@ -1,0 +1,206 @@
+type verdict =
+  | Proved
+  | Falsified of { depth : int; trace : Trace.t option }
+  | Out_of_budget of string
+
+type iteration = {
+  index : int;
+  frontier_size : int;
+  reached_size : int;
+  eliminated_inputs : int;
+  kept_inputs : int;
+  naive_size : int;
+  seconds : float;
+}
+
+type result = {
+  verdict : verdict;
+  iterations : iteration list;
+  total_seconds : float;
+  peak_frontier : int;
+  sat_queries : int;
+  invariant : Aig.lit option;
+}
+
+type config = {
+  quant : Quantify.config;
+  max_iterations : int;
+  sweep_frontier : bool;
+  use_reached_dc : bool;
+  make_trace : bool;
+  seed : int;
+}
+
+let default =
+  {
+    quant = Quantify.default;
+    max_iterations = 200;
+    sweep_frontier = false;
+    use_reached_dc = false;
+    make_trace = true;
+    seed = 1;
+  }
+
+let pp_verdict ppf = function
+  | Proved -> Format.pp_print_string ppf "PROVED"
+  | Falsified { depth; _ } -> Format.fprintf ppf "FALSIFIED (depth %d)" depth
+  | Out_of_budget why -> Format.fprintf ppf "UNDECIDED (%s)" why
+
+let pp_result ppf r =
+  Format.fprintf ppf "%a  iterations=%d peak-frontier=%d sat-queries=%d %.3fs" pp_verdict
+    r.verdict (List.length r.iterations) r.peak_frontier r.sat_queries r.total_seconds
+
+(* decide exactly: containment and intersection tests must not be budgeted *)
+let exact_answer checker lits =
+  Cnf.Checker.set_conflict_limit checker None;
+  Cnf.Checker.satisfiable checker lits
+
+(* Find the exact counterexample depth at or above [from_depth] (the
+   reached-set don't-care option can make the traversal's hit iteration a
+   lower bound) and extract a trace. *)
+let find_cex model checker ~from_depth ~limit =
+  let unroll = Unroll.create model in
+  let rec search d =
+    if d > limit then None
+    else
+      match exact_answer checker [ Unroll.bad_at unroll d ] with
+      | Cnf.Checker.Yes ->
+        Some (d, Unroll.trace_from_model unroll ~depth:d ~value:(Cnf.Checker.model_var checker))
+      | Cnf.Checker.No | Cnf.Checker.Maybe -> search (d + 1)
+  in
+  search from_depth
+
+let sum_naive reports =
+  List.fold_left (fun acc r -> acc + r.Quantify.size_naive) 0 reports
+
+let run ?(config = default) model =
+  let watch = Util.Stopwatch.start () in
+  let aig = Netlist.Model.aig model in
+  let checker = Cnf.Checker.create aig in
+  let prng = Util.Prng.create config.seed in
+  let init = Netlist.Model.init_lit model in
+  let iterations = ref [] in
+  let peak = ref 0 in
+  let finish ?invariant verdict =
+    {
+      verdict;
+      iterations = List.rev !iterations;
+      total_seconds = Util.Stopwatch.elapsed watch;
+      peak_frontier = !peak;
+      sat_queries = Cnf.Checker.queries checker;
+      invariant;
+    }
+  in
+  (* iteration 0: the bad states themselves, with property inputs (if any)
+     quantified away *)
+  let bad_raw = Aig.not_ model.Netlist.Model.property in
+  let input_vars = Netlist.Model.input_vars model in
+  let bad_inputs = List.filter (fun v -> List.mem v input_vars) (Aig.support aig bad_raw) in
+  let b0_result = Quantify.all ~config:config.quant aig checker ~prng bad_raw ~vars:bad_inputs in
+  let b0 = b0_result.Quantify.lit in
+  let b0_clean = b0_result.Quantify.kept = [] in
+  peak := Aig.size aig b0;
+  let falsified hit_iteration =
+    let depth, trace =
+      if config.make_trace || config.use_reached_dc then
+        match
+          find_cex model checker ~from_depth:hit_iteration
+            ~limit:(hit_iteration + config.max_iterations + 64)
+        with
+        | Some (d, t) -> (d, if config.make_trace then Some t else None)
+        | None -> (hit_iteration, None)
+      else (hit_iteration, None)
+    in
+    Falsified { depth; trace }
+  in
+  if exact_answer checker [ init; b0 ] = Cnf.Checker.Yes then finish (falsified 0)
+  else begin
+    let reached = ref b0 in
+    let frontier = ref b0 in
+    let aux_vars = ref [] in
+    let rec loop k =
+      if k > config.max_iterations then finish (Out_of_budget "iteration limit")
+      else begin
+        let step_watch = Util.Stopwatch.start () in
+        let pre =
+          Preimage.compute ~config:config.quant model checker ~prng ~frontier:!frontier
+            ~extra_vars:!aux_vars
+        in
+        (* residual model inputs must not collide with the next frame's
+           inputs: rename them to private auxiliary variables *)
+        let residual_inputs = List.filter (fun v -> List.mem v input_vars) pre.Preimage.kept in
+        let renaming = List.map (fun v -> (v, Aig.fresh_var aig)) residual_inputs in
+        let new_frontier =
+          if renaming = [] then pre.Preimage.lit
+          else
+            Aig.compose aig pre.Preimage.lit ~subst:(fun v ->
+                Option.map (Aig.var aig) (List.assoc_opt v renaming))
+        in
+        aux_vars :=
+          List.map snd renaming
+          @ List.filter (fun v -> not (List.mem v pre.Preimage.eliminated)) !aux_vars;
+        let new_frontier =
+          if config.sweep_frontier then
+            fst (Synth.Opt.sweep_and_compact aig checker ~prng new_frontier)
+          else new_frontier
+        in
+        (* optional: states already known to reach a bad state are don't
+           cares for the new frontier *)
+        let new_frontier =
+          if config.use_reached_dc then
+            fst
+              (Synth.Dontcare.simplify_under_care aig checker ~prng
+                 ~care:(Aig.not_ !reached) new_frontier)
+          else new_frontier
+        in
+        let fsize = Aig.size aig new_frontier in
+        if fsize > !peak then peak := fsize;
+        let hit_init = exact_answer checker [ init; new_frontier ] = Cnf.Checker.Yes in
+        if hit_init then begin
+          iterations :=
+            {
+              index = k;
+              frontier_size = fsize;
+              reached_size = Aig.size aig !reached;
+              eliminated_inputs = List.length pre.Preimage.eliminated;
+              kept_inputs = List.length pre.Preimage.kept;
+              naive_size = sum_naive pre.Preimage.reports;
+              seconds = Util.Stopwatch.elapsed step_watch;
+            }
+            :: !iterations;
+          finish (falsified k)
+        end
+        else begin
+          let no_new = exact_answer checker [ new_frontier; Aig.not_ !reached ] = Cnf.Checker.No in
+          let reached' = Aig.or_ aig !reached new_frontier in
+          iterations :=
+            {
+              index = k;
+              frontier_size = fsize;
+              reached_size = Aig.size aig reached';
+              eliminated_inputs = List.length pre.Preimage.eliminated;
+              kept_inputs = List.length pre.Preimage.kept;
+              naive_size = sum_naive pre.Preimage.reports;
+              seconds = Util.Stopwatch.elapsed step_watch;
+            }
+            :: !iterations;
+          if no_new then begin
+            (* without residual variables the complement of the reached
+               set is an inductive invariant: a checkable certificate *)
+            let invariant =
+              if b0_clean && !aux_vars = [] then Some (Aig.not_ reached') else None
+            in
+            finish ?invariant Proved
+          end
+          else begin
+            (* onion ring: keep only the genuinely new states in the next
+               frontier to stop pre-images from re-deriving old ones *)
+            frontier := Aig.and_ aig new_frontier (Aig.not_ !reached);
+            reached := reached';
+            loop (k + 1)
+          end
+        end
+      end
+    in
+    loop 1
+  end

@@ -1,0 +1,64 @@
+(** Backward reachability with AIG state sets (paper §3).
+
+    Starting from the complement of the invariant, pre-images are iterated
+    until either no new states appear (fix-point — the property is proved)
+    or the initial states are intersected (a counterexample exists, whose
+    trace is rebuilt by functional unrolling). All state sets are AIG
+    literals; set operations and termination tests run through the shared
+    SAT checker.
+
+    Aborted input quantifications (partial quantification) leave residual
+    variables in the state sets; they are renamed to private auxiliary
+    variables so they cannot collide with the next frame's inputs, treated
+    existentially by every containment test, and retried at later
+    iterations. *)
+
+type verdict =
+  | Proved (* fix-point without touching the initial states *)
+  | Falsified of { depth : int; trace : Trace.t option }
+  | Out_of_budget of string (* iteration limit *)
+
+type iteration = {
+  index : int; (* 1-based pre-image count *)
+  frontier_size : int; (* AND nodes of the new frontier *)
+  reached_size : int;
+  eliminated_inputs : int;
+  kept_inputs : int; (* aborted quantifications this step *)
+  naive_size : int; (* sum of naive Shannon sizes, for comparison *)
+  seconds : float;
+}
+
+type result = {
+  verdict : verdict;
+  iterations : iteration list;
+  total_seconds : float;
+  peak_frontier : int;
+  sat_queries : int;
+  invariant : Aig.lit option;
+  (* on [Proved] without partial-quantification residuals: the complement
+     of the backward-reached set — an inductive invariant certifying the
+     property, checkable independently with {!Certify.check} *)
+}
+
+type config = {
+  quant : Quantify.config;
+  max_iterations : int;
+  sweep_frontier : bool; (* re-run the merge phase on each new frontier *)
+  use_reached_dc : bool;
+  (* simplify each new frontier using the complement of the reached set
+     as a care set: states already known to reach a bad state are don't
+     cares. Verdicts and depths stay exact — the frontier is only
+     unconstrained inside the reached region, where the onion-ring
+     conjunction and the reached-set union absorb any difference, and the
+     initial states can never lie there. *)
+  make_trace : bool;
+  seed : int;
+}
+
+val default : config
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val pp_result : Format.formatter -> result -> unit
+
+(** [run ?config m] — verify the model's safety property. *)
+val run : ?config:config -> Netlist.Model.t -> result

@@ -1,0 +1,88 @@
+type t = {
+  inputs : (Aig.var * bool) list array;
+  states : (Aig.var * bool) list array;
+}
+
+let length t = Array.length t.inputs
+
+let assignment_of_list l v = try List.assoc v l with Not_found -> false
+
+let of_inputs m frames =
+  let n = Array.length frames in
+  let state_vars = Netlist.Model.state_vars m in
+  let input_vars = Netlist.Model.input_vars m in
+  let states = Array.make (n + 1) [] in
+  let inputs = Array.make n [] in
+  let current = ref (Netlist.Model.init_state m) in
+  states.(0) <- List.map (fun v -> (v, !current v)) state_vars;
+  for k = 0 to n - 1 do
+    inputs.(k) <- List.map (fun v -> (v, frames.(k) v)) input_vars;
+    let next = Netlist.Model.eval_step m ~state:!current ~inputs:frames.(k) in
+    current := next;
+    states.(k + 1) <- List.map (fun v -> (v, next v)) state_vars
+  done;
+  { inputs; states }
+
+let check m t =
+  let n = length t in
+  if Array.length t.states <> n + 1 then false
+  else begin
+    let replay = of_inputs m (Array.map assignment_of_list t.inputs) in
+    let states_match = Array.for_all2 (fun a b -> a = b) replay.states t.states in
+    let final = assignment_of_list t.states.(n) in
+    states_match && not (Netlist.Model.property_holds m ~state:final)
+  end
+
+(* three-valued replay: does every completion of the partial stimulus
+   still end in a definite property violation? *)
+let definitely_fails m inputs3 frames =
+  let aig = Netlist.Model.aig m in
+  let state_vars = Netlist.Model.state_vars m in
+  let state = ref (fun v -> Some (Netlist.Model.init_state m v)) in
+  for k = 0 to frames - 1 do
+    let frame = inputs3.(k) in
+    let env v =
+      match List.assoc_opt v frame with
+      | Some value -> value
+      | None -> if List.mem v state_vars then !state v else None
+    in
+    let next =
+      List.map
+        (fun l -> (l.Netlist.Model.state_var, Aig.eval3 aig l.Netlist.Model.next env))
+        m.Netlist.Model.latches
+    in
+    state := fun v -> (match List.assoc_opt v next with Some x -> x | None -> None)
+  done;
+  Aig.eval3 aig m.Netlist.Model.property (fun v ->
+      if List.mem v state_vars then !state v else None)
+  = Some false
+
+let minimize m t =
+  let frames = length t in
+  let inputs3 =
+    Array.map (fun frame -> List.map (fun (v, b) -> (v, Some b)) frame) t.inputs
+  in
+  assert (definitely_fails m inputs3 frames);
+  for k = 0 to frames - 1 do
+    List.iter
+      (fun (v, _) ->
+        let saved = inputs3.(k) in
+        inputs3.(k) <-
+          List.map (fun (w, value) -> if w = v then (w, None) else (w, value)) saved;
+        if not (definitely_fails m inputs3 frames) then inputs3.(k) <- saved)
+      t.inputs.(k)
+  done;
+  Array.map
+    (fun frame -> List.filter_map (fun (v, value) -> Option.map (fun b -> (v, b)) value) frame)
+    inputs3
+
+let pp m ppf t =
+  let pp_assign ppf l =
+    List.iter (fun (v, b) -> Format.fprintf ppf "x%d=%d " v (if b then 1 else 0)) l
+  in
+  Format.fprintf ppf "counterexample of length %d for %s@." (length t) (Netlist.Model.name m);
+  Array.iteri
+    (fun k s ->
+      Format.fprintf ppf "  state %d: %a@." k pp_assign s;
+      if k < length t then Format.fprintf ppf "  input %d: %a@." k pp_assign t.inputs.(k))
+    t.states

@@ -1,0 +1,29 @@
+(** Counterexample traces: one input assignment per frame, with the state
+    sequence they induce from the initial state. *)
+
+type t = {
+  inputs : (Aig.var * bool) list array; (* frame -> input assignment *)
+  states : (Aig.var * bool) list array; (* length = frames + 1 *)
+}
+
+(** Number of transitions. *)
+val length : t -> int
+
+(** [of_inputs m frames] replays the input assignments from the initial
+    state and records the visited states. *)
+val of_inputs : Netlist.Model.t -> (Aig.var -> bool) array -> t
+
+(** [check m t] — is [t] a genuine counterexample? Replays the inputs and
+    verifies that every recorded state matches and that the final state
+    violates the property. *)
+val check : Netlist.Model.t -> t -> bool
+
+val pp : Netlist.Model.t -> Format.formatter -> t -> unit
+
+(** [minimize m t] — which input bits actually matter? Each input is
+    tentatively replaced by X and the whole trace re-run with three-valued
+    simulation; inputs whose removal leaves the final property {e
+    definitely} violated are dropped. Returns the essential inputs per
+    frame (a subset of [t.inputs]); every completion of that partial
+    stimulus is a counterexample. [t] must satisfy {!check}. *)
+val minimize : Netlist.Model.t -> t -> (Aig.var * bool) list array

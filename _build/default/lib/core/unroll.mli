@@ -1,0 +1,36 @@
+(** Functional time-frame expansion of a sequential model, inside the
+    model's own AIG manager.
+
+    Frame 0 states are the initial-value constants; every (frame, input)
+    pair gets a fresh variable; later states are next-state functions
+    composed over earlier frames. Because the unrolling is functional, the
+    bad-state condition at depth [k] is a single literal whose support is
+    only frame inputs — one satisfiability query yields a whole
+    counterexample. Used for trace reconstruction by the CBQ traversal and
+    as the substrate of the BMC and induction baselines. *)
+
+type t
+
+val create : Netlist.Model.t -> t
+val model : t -> Netlist.Model.t
+
+(** [input_lit t ~frame v] — the fresh literal standing for model input
+    [v] at time [frame]. *)
+val input_lit : t -> frame:int -> Aig.var -> Aig.lit
+
+(** [state_lit t ~frame v] — the function giving state variable [v] at
+    time [frame] in terms of frame inputs. *)
+val state_lit : t -> frame:int -> Aig.var -> Aig.lit
+
+(** [bad_at t k] — [¬P] evaluated on frame [k] (using frame-[k] inputs if
+    the property reads inputs). *)
+val bad_at : t -> int -> Aig.lit
+
+(** [frame_inputs t ~frame] — the fresh variables of one frame, paired
+    with the model inputs they instantiate. *)
+val frame_inputs : t -> frame:int -> (Aig.var * Aig.var) list
+
+(** [trace_from_model t ~depth ~value] rebuilds a counterexample of
+    [depth] transitions from a satisfying assignment of [bad_at depth],
+    where [value] reads the assignment of a fresh unrolled variable. *)
+val trace_from_model : t -> depth:int -> value:(Aig.var -> bool) -> Trace.t

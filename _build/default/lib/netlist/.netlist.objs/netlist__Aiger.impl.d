@@ -1,0 +1,1 @@
+lib/netlist/aiger.ml: Aig Array Buffer Builder Char Filename Fun Hashtbl List Model Printf String

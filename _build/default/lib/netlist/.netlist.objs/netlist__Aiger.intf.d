@@ -1,0 +1,1 @@
+lib/netlist/aiger.mli: Model

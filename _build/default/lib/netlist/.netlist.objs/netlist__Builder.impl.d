@@ -1,0 +1,1 @@
+lib/netlist/builder.ml: Aig List Model Printf

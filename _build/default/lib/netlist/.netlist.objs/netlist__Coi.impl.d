@@ -1,0 +1,1 @@
+lib/netlist/coi.ml: Aig Format Hashtbl List Model

@@ -1,0 +1,1 @@
+lib/netlist/model.ml: Aig Format Hashtbl List Printf

@@ -1,0 +1,28 @@
+(** ASCII AIGER ("aag") interchange, read and write.
+
+    The single output of the written file is the {e bad-state} function
+    [¬P], following the common model-checking convention, and latch lines
+    carry the AIGER-1.9 three-field form [current next init]. The reader
+    accepts both two- and three-field latch lines (two-field latches reset
+    to 0) and takes output 0 as the bad-state function. *)
+
+(** [write m] renders the model as an aag document. *)
+val write : Model.t -> string
+
+val write_file : Model.t -> string -> unit
+
+(** [read ~name s] parses an aag document. Fails with [Failure] and a
+    line-numbered diagnostic on malformed input. *)
+val read : name:string -> string -> Model.t
+
+(** [write_binary m] renders the compact binary ("aig") format: implicit
+    input/latch literals and LEB128-delta-encoded AND gates. *)
+val write_binary : Model.t -> string
+
+(** [read_binary ~name s] parses the binary format. *)
+val read_binary : name:string -> string -> Model.t
+
+(** [read_file path] dispatches on the header ("aag" vs "aig"). *)
+val read_file : string -> Model.t
+
+val write_binary_file : Model.t -> string -> unit

@@ -1,0 +1,37 @@
+(** Imperative construction of {!Model.t} values.
+
+    Latches are allocated first (so that combinational logic can read
+    them) and connected to their next-state functions later; {!finish}
+    refuses models with unconnected latches or validation errors. *)
+
+type t
+
+val create : string -> t
+
+(** The model's AIG manager; all literals must come from it. *)
+val aig : t -> Aig.t
+
+(** Allocate a primary input; returns its literal. *)
+val input : t -> Aig.lit
+
+(** [inputs b n] allocates [n] inputs. *)
+val inputs : t -> int -> Aig.lit list
+
+(** Allocate a latch with the given reset value; returns its
+    current-state literal. *)
+val latch : t -> init:bool -> Aig.lit
+
+val latches : t -> init:bool -> int -> Aig.lit list
+
+(** [connect b q next] sets the next-state function of the latch whose
+    current-state literal is [q] (as returned by {!latch}, positive
+    phase). Raises [Invalid_argument] on non-latch literals or double
+    connection. *)
+val connect : t -> Aig.lit -> Aig.lit -> unit
+
+(** Declare the safety property ("good states" predicate). *)
+val set_property : t -> Aig.lit -> unit
+
+(** Build and validate. Raises [Failure] with a diagnostic on
+    inconsistent models. *)
+val finish : t -> Model.t

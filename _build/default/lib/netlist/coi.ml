@@ -1,0 +1,62 @@
+type report = {
+  latches_before : int;
+  latches_after : int;
+  inputs_before : int;
+  inputs_after : int;
+  removed_latches : Aig.var list;
+  removed_inputs : Aig.var list;
+}
+
+let pp_report ppf r =
+  Format.fprintf ppf "latches %d -> %d, inputs %d -> %d" r.latches_before r.latches_after
+    r.inputs_before r.inputs_after
+
+let reduce m =
+  let aig = Model.aig m in
+  let state_vars = Model.state_vars m in
+  let next_of =
+    let table = Hashtbl.create 16 in
+    List.iter (fun l -> Hashtbl.replace table l.Model.state_var l.Model.next) m.Model.latches;
+    fun v -> Hashtbl.find table v
+  in
+  (* least fixpoint of "state variables the property depends on, directly
+     or through kept next-state functions" *)
+  let kept : (Aig.var, unit) Hashtbl.t = Hashtbl.create 16 in
+  let frontier = ref (List.filter (fun v -> List.mem v state_vars) (Aig.support aig m.Model.property)) in
+  while !frontier <> [] do
+    let next_frontier = ref [] in
+    List.iter
+      (fun v ->
+        if not (Hashtbl.mem kept v) then begin
+          Hashtbl.replace kept v ();
+          List.iter
+            (fun w ->
+              if List.mem w state_vars && not (Hashtbl.mem kept w) then
+                next_frontier := w :: !next_frontier)
+            (Aig.support aig (next_of v))
+        end)
+      !frontier;
+    frontier := List.sort_uniq compare !next_frontier
+  done;
+  let latches' = List.filter (fun l -> Hashtbl.mem kept l.Model.state_var) m.Model.latches in
+  (* inputs surviving in some kept cone *)
+  let used : (Aig.var, unit) Hashtbl.t = Hashtbl.create 16 in
+  let note lit = List.iter (fun v -> Hashtbl.replace used v ()) (Aig.support aig lit) in
+  note m.Model.property;
+  List.iter (fun l -> note l.Model.next) latches';
+  let inputs' = List.filter (Hashtbl.mem used) m.Model.inputs in
+  let reduced =
+    { m with Model.name = m.Model.name ^ "-coi"; latches = latches'; inputs = inputs' }
+  in
+  ( reduced,
+    {
+      latches_before = List.length m.Model.latches;
+      latches_after = List.length latches';
+      inputs_before = List.length m.Model.inputs;
+      inputs_after = List.length inputs';
+      removed_latches =
+        List.filter_map
+          (fun l -> if Hashtbl.mem kept l.Model.state_var then None else Some l.Model.state_var)
+          m.Model.latches;
+      removed_inputs = List.filter (fun v -> not (Hashtbl.mem used v)) m.Model.inputs;
+    } )

@@ -1,0 +1,21 @@
+(** Cone-of-influence reduction.
+
+    Latches (and inputs) that cannot affect the property — they are outside
+    the transitive support of the property through the next-state functions
+    — are dropped before verification. Purely structural, no solver
+    involved, and exact: the reduced model has the same verdict, the same
+    counterexample depths, and its traces extend to traces of the original
+    by assigning the removed latches their simulated values. *)
+
+type report = {
+  latches_before : int;
+  latches_after : int;
+  inputs_before : int;
+  inputs_after : int;
+  removed_latches : Aig.var list;
+  removed_inputs : Aig.var list;
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val reduce : Model.t -> Model.t * report

@@ -1,0 +1,61 @@
+(** Sequential circuit models: the verification substrate.
+
+    A model is an AIG manager together with the designation of some
+    variables as primary inputs and others as state (latch outputs), the
+    next-state function and initial value of every latch, and one safety
+    property [P(s)] over the state variables ("good" states; a violation
+    is a reachable state satisfying [¬P]). *)
+
+type latch = {
+  state_var : Aig.var; (* current-state variable *)
+  next : Aig.lit; (* next-state function over inputs and state vars *)
+  init : bool; (* reset value *)
+}
+
+type t = {
+  name : string;
+  aig : Aig.t;
+  inputs : Aig.var list;
+  latches : latch list;
+  property : Aig.lit;
+}
+
+val name : t -> string
+val aig : t -> Aig.t
+val input_vars : t -> Aig.var list
+val state_vars : t -> Aig.var list
+val num_inputs : t -> int
+val num_latches : t -> int
+
+(** The characteristic function of the initial state set (a cube over the
+    state variables). *)
+val init_lit : t -> Aig.lit
+
+(** [next_subst m] maps every state variable to its next-state function
+    and leaves other variables untouched — the substitution that realizes
+    pre-image in-lining [B(δ(s,x))]. *)
+val next_subst : t -> Aig.var -> Aig.lit option
+
+(** [latch_of m v] is the latch whose state variable is [v]. *)
+val latch_of : t -> Aig.var -> latch option
+
+(** Structural sanity: every latch's next function and the property must
+    only depend on declared inputs and state variables; state variables
+    must be distinct. Returns a human-readable error. *)
+val validate : t -> (unit, string) result
+
+(** [eval_step m ~state ~inputs] runs one synchronous step, returning the
+    next state assignment. *)
+val eval_step :
+  t -> state:(Aig.var -> bool) -> inputs:(Aig.var -> bool) -> Aig.var -> bool
+
+(** [property_holds m ~state] evaluates the safety property in a state. *)
+val property_holds : t -> state:(Aig.var -> bool) -> bool
+
+(** Initial state as an assignment. *)
+val init_state : t -> Aig.var -> bool
+
+type stats = { inputs : int; latches : int; property_size : int; next_size : int }
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,84 @@
+type problem = { num_vars : int; clauses : Lit.t list list }
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let header = ref None in
+  let clauses = ref [] in
+  let current = ref [] in
+  let error = ref None in
+  let max_var = ref 0 in
+  List.iteri
+    (fun idx raw ->
+      if !error = None then begin
+        let lineno = idx + 1 in
+        let line = String.trim raw in
+        if line = "" || (String.length line > 0 && (line.[0] = 'c' || line.[0] = '%')) then ()
+        else if String.length line > 0 && line.[0] = 'p' then begin
+          match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+          | [ "p"; "cnf"; v; c ] -> (
+            match (int_of_string_opt v, int_of_string_opt c) with
+            | Some nv, Some nc when nv >= 0 && nc >= 0 -> header := Some nv
+            | _ -> error := Some (Printf.sprintf "line %d: bad problem line" lineno))
+          | _ -> error := Some (Printf.sprintf "line %d: bad problem line" lineno)
+        end
+        else begin
+          let tokens = String.split_on_char ' ' line |> List.filter (fun s -> s <> "") in
+          List.iter
+            (fun tok ->
+              if !error = None then
+                match int_of_string_opt tok with
+                | None -> error := Some (Printf.sprintf "line %d: bad literal %S" lineno tok)
+                | Some 0 ->
+                  clauses := List.rev !current :: !clauses;
+                  current := []
+                | Some d ->
+                  let v = abs d - 1 in
+                  if v + 1 > !max_var then max_var := v + 1;
+                  current := Lit.make v (d < 0) :: !current)
+            tokens
+        end
+      end)
+    lines;
+  match !error with
+  | Some msg -> Error msg
+  | None ->
+    if !current <> [] then Error "trailing clause without terminating 0"
+    else
+      let declared = Option.value !header ~default:!max_var in
+      Ok { num_vars = max declared !max_var; clauses = List.rev !clauses }
+
+let render p =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "p cnf %d %d\n" p.num_vars (List.length p.clauses));
+  List.iter
+    (fun clause ->
+      List.iter
+        (fun l ->
+          let d = Lit.var l + 1 in
+          Buffer.add_string buf (Printf.sprintf "%d " (if Lit.sign l then -d else d)))
+        clause;
+      Buffer.add_string buf "0\n")
+    p.clauses;
+  Buffer.contents buf
+
+let load solver p =
+  while Solver.num_vars solver < p.num_vars do
+    ignore (Solver.new_var solver)
+  done;
+  List.fold_left (fun ok clause -> Solver.add_clause solver clause && ok) true p.clauses
+
+let solve_file path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | text -> (
+    match parse text with
+    | Error msg -> Error msg
+    | Ok problem ->
+      let solver = Solver.create () in
+      if load solver problem then Ok (Solver.solve solver, solver)
+      else Ok (Solver.Unsat, solver))

@@ -1,0 +1,21 @@
+(** DIMACS CNF interchange for the SAT solver.
+
+    Parses the standard header/clause format (comments, blank lines and
+    multi-line clauses included) and renders clause lists back. DIMACS
+    variables are 1-based; solver variables are 0-based: DIMACS literal
+    [±v] maps to solver variable [v - 1]. *)
+
+type problem = { num_vars : int; clauses : Lit.t list list }
+
+(** [parse s] — [Error msg] carries a line-numbered diagnostic. *)
+val parse : string -> (problem, string) result
+
+(** [render p] — canonical DIMACS text. *)
+val render : problem -> string
+
+(** [load solver p] allocates missing variables and adds every clause;
+    returns [false] when the database became unsatisfiable at level 0. *)
+val load : Solver.t -> problem -> bool
+
+(** [solve_file path] — parse, load and solve; convenience for the CLI. *)
+val solve_file : string -> (Solver.result * Solver.t, string) result

@@ -1,0 +1,9 @@
+type t = int
+
+let make v negated = (v lsl 1) lor (if negated then 1 else 0)
+let pos v = v lsl 1
+let neg_of v = (v lsl 1) lor 1
+let neg l = l lxor 1
+let var l = l lsr 1
+let sign l = l land 1 = 1
+let pp ppf l = Format.fprintf ppf "%s%d" (if sign l then "-" else "") (var l)

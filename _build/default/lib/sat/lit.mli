@@ -1,0 +1,23 @@
+(** SAT literals: variable [v] yields literals [2v] (positive) and [2v+1]
+    (negative). The encoding matches the AIG literal encoding so bridging
+    code stays mechanical. *)
+
+type t = int
+
+val make : int -> bool -> t
+
+(** Positive literal of a variable. *)
+val pos : int -> t
+
+(** Negative literal of a variable. *)
+val neg_of : int -> t
+
+(** Complement. *)
+val neg : t -> t
+
+val var : t -> int
+
+(** [sign l] is [true] for a negative literal. *)
+val sign : t -> bool
+
+val pp : Format.formatter -> t -> unit

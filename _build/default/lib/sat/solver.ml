@@ -1,0 +1,653 @@
+type result = Sat | Unsat | Unknown
+
+type clause = {
+  mutable lits : int array;
+  mutable activity : float;
+  learnt : bool;
+  mutable deleted : bool;
+}
+
+type t = {
+  (* clause store; index into [clauses] is the clause reference *)
+  mutable clauses : clause array;
+  mutable n_clauses : int;
+  mutable n_learnt : int;
+  (* watches.(l) = clause indices in which literal [l] is watched *)
+  mutable watches : Util.Vec_int.t array;
+  (* per-variable state *)
+  mutable assigns : int array; (* -1 unknown / 0 false / 1 true *)
+  mutable levels : int array;
+  mutable reasons : int array; (* clause index or -1 *)
+  mutable activities : float array;
+  mutable saved_phase : bool array;
+  mutable seen : bool array;
+  mutable heap_pos : int array;
+  mutable nvars : int;
+  heap : Util.Vec_int.t;
+  trail : Util.Vec_int.t;
+  trail_lim : Util.Vec_int.t;
+  mutable qhead : int;
+  mutable ok : bool;
+  mutable model : int array;
+  mutable failed : int list; (* assumption core of the last Unsat answer *)
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  mutable max_learnt : int;
+  (* statistics *)
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable conflicts : int;
+  mutable restarts : int;
+  mutable learnt_literals : int;
+  mutable minimized_literals : int;
+}
+
+let var_decay = 1.0 /. 0.95
+let clause_decay = 1.0 /. 0.999
+let restart_base = 64
+
+let create () =
+  {
+    clauses = Array.make 64 { lits = [||]; activity = 0.0; learnt = false; deleted = true };
+    n_clauses = 0;
+    n_learnt = 0;
+    watches = Array.init 2 (fun _ -> Util.Vec_int.create ());
+    assigns = Array.make 1 (-1);
+    levels = Array.make 1 0;
+    reasons = Array.make 1 (-1);
+    activities = Array.make 1 0.0;
+    saved_phase = Array.make 1 false;
+    seen = Array.make 1 false;
+    heap_pos = Array.make 1 (-1);
+    nvars = 0;
+    heap = Util.Vec_int.create ();
+    trail = Util.Vec_int.create ();
+    trail_lim = Util.Vec_int.create ();
+    qhead = 0;
+    ok = true;
+    model = [||];
+    failed = [];
+    var_inc = 1.0;
+    cla_inc = 1.0;
+    max_learnt = 2000;
+    decisions = 0;
+    propagations = 0;
+    conflicts = 0;
+    restarts = 0;
+    learnt_literals = 0;
+    minimized_literals = 0;
+  }
+
+let num_vars t = t.nvars
+let ok t = t.ok
+
+(* ---------- variable order heap (max-heap on activity) ---------- *)
+
+let heap_lt t v w = t.activities.(v) > t.activities.(w)
+
+let heap_swap t i j =
+  let vi = Util.Vec_int.get t.heap i and vj = Util.Vec_int.get t.heap j in
+  Util.Vec_int.set t.heap i vj;
+  Util.Vec_int.set t.heap j vi;
+  t.heap_pos.(vi) <- j;
+  t.heap_pos.(vj) <- i
+
+let rec heap_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if heap_lt t (Util.Vec_int.get t.heap i) (Util.Vec_int.get t.heap parent) then begin
+      heap_swap t i parent;
+      heap_up t parent
+    end
+  end
+
+let rec heap_down t i =
+  let n = Util.Vec_int.length t.heap in
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < n && heap_lt t (Util.Vec_int.get t.heap l) (Util.Vec_int.get t.heap !best) then best := l;
+  if r < n && heap_lt t (Util.Vec_int.get t.heap r) (Util.Vec_int.get t.heap !best) then best := r;
+  if !best <> i then begin
+    heap_swap t i !best;
+    heap_down t !best
+  end
+
+let heap_insert t v =
+  if t.heap_pos.(v) < 0 then begin
+    Util.Vec_int.push t.heap v;
+    t.heap_pos.(v) <- Util.Vec_int.length t.heap - 1;
+    heap_up t t.heap_pos.(v)
+  end
+
+let heap_pop t =
+  let v = Util.Vec_int.get t.heap 0 in
+  let n = Util.Vec_int.length t.heap in
+  heap_swap t 0 (n - 1);
+  ignore (Util.Vec_int.pop t.heap);
+  t.heap_pos.(v) <- -1;
+  if not (Util.Vec_int.is_empty t.heap) then heap_down t 0;
+  v
+
+(* ---------- variables ---------- *)
+
+let grow_arrays t needed =
+  let cap = Array.length t.assigns in
+  if needed > cap then begin
+    let cap' = max needed (cap * 2) in
+    let grow_int a fill =
+      let a' = Array.make cap' fill in
+      Array.blit a 0 a' 0 t.nvars;
+      a'
+    in
+    t.assigns <- grow_int t.assigns (-1);
+    t.levels <- grow_int t.levels 0;
+    t.reasons <- grow_int t.reasons (-1);
+    t.heap_pos <- grow_int t.heap_pos (-1);
+    let act' = Array.make cap' 0.0 in
+    Array.blit t.activities 0 act' 0 t.nvars;
+    t.activities <- act';
+    let ph' = Array.make cap' false in
+    Array.blit t.saved_phase 0 ph' 0 t.nvars;
+    t.saved_phase <- ph';
+    let sn' = Array.make cap' false in
+    Array.blit t.seen 0 sn' 0 t.nvars;
+    t.seen <- sn'
+  end
+
+let new_var t =
+  let v = t.nvars in
+  grow_arrays t (v + 1);
+  t.assigns.(v) <- -1;
+  t.levels.(v) <- 0;
+  t.reasons.(v) <- -1;
+  t.activities.(v) <- 0.0;
+  t.saved_phase.(v) <- false;
+  t.seen.(v) <- false;
+  t.heap_pos.(v) <- -1;
+  t.nvars <- v + 1;
+  (* watcher lists for both phases *)
+  let nw = 2 * t.nvars in
+  if nw > Array.length t.watches then begin
+    let w' = Array.init (max nw (2 * Array.length t.watches)) (fun _ -> Util.Vec_int.create ()) in
+    Array.blit t.watches 0 w' 0 (2 * v);
+    t.watches <- w'
+  end;
+  heap_insert t v;
+  v
+
+(* literal value: -1 unknown / 0 false / 1 true *)
+let value_lit t l =
+  let a = t.assigns.(l lsr 1) in
+  if a < 0 then -1 else a lxor (l land 1)
+
+let decision_level t = Util.Vec_int.length t.trail_lim
+
+(* ---------- activity ---------- *)
+
+let bump_var t v =
+  t.activities.(v) <- t.activities.(v) +. t.var_inc;
+  if t.activities.(v) > 1e100 then begin
+    for i = 0 to t.nvars - 1 do
+      t.activities.(i) <- t.activities.(i) *. 1e-100
+    done;
+    t.var_inc <- t.var_inc *. 1e-100
+  end;
+  if t.heap_pos.(v) >= 0 then heap_up t t.heap_pos.(v)
+
+let decay_var_activity t = t.var_inc <- t.var_inc *. var_decay
+
+let bump_clause t c =
+  c.activity <- c.activity +. t.cla_inc;
+  if c.activity > 1e20 then begin
+    for i = 0 to t.n_clauses - 1 do
+      let d = t.clauses.(i) in
+      if d.learnt then d.activity <- d.activity *. 1e-20
+    done;
+    t.cla_inc <- t.cla_inc *. 1e-20
+  end
+
+let decay_clause_activity t = t.cla_inc <- t.cla_inc *. clause_decay
+
+(* ---------- assignment ---------- *)
+
+let enqueue t l reason =
+  t.assigns.(l lsr 1) <- (l land 1) lxor 1;
+  t.levels.(l lsr 1) <- decision_level t;
+  t.reasons.(l lsr 1) <- reason;
+  Util.Vec_int.push t.trail l
+
+let cancel_until t level =
+  if decision_level t > level then begin
+    let bound = Util.Vec_int.get t.trail_lim level in
+    for i = Util.Vec_int.length t.trail - 1 downto bound do
+      let l = Util.Vec_int.get t.trail i in
+      let v = l lsr 1 in
+      t.saved_phase.(v) <- t.assigns.(v) = 1;
+      t.assigns.(v) <- -1;
+      t.reasons.(v) <- -1;
+      heap_insert t v
+    done;
+    Util.Vec_int.resize t.trail bound 0;
+    Util.Vec_int.resize t.trail_lim level 0;
+    t.qhead <- bound
+  end
+
+(* ---------- clause store ---------- *)
+
+let push_clause t c =
+  if t.n_clauses >= Array.length t.clauses then begin
+    let a = Array.make (2 * Array.length t.clauses) c in
+    Array.blit t.clauses 0 a 0 t.n_clauses;
+    t.clauses <- a
+  end;
+  t.clauses.(t.n_clauses) <- c;
+  t.n_clauses <- t.n_clauses + 1;
+  t.n_clauses - 1
+
+let watch t l ci = Util.Vec_int.push t.watches.(l) ci
+
+let attach_clause t ci =
+  let c = t.clauses.(ci) in
+  watch t c.lits.(0) ci;
+  watch t c.lits.(1) ci
+
+(* ---------- propagation ---------- *)
+
+(* Propagate all enqueued facts; returns the index of a conflicting clause
+   or -1. Watch invariant: the two watched literals are lits.(0) and
+   lits.(1); a clause appears in the watch list of both. *)
+let propagate t =
+  let confl = ref (-1) in
+  while !confl < 0 && t.qhead < Util.Vec_int.length t.trail do
+    let p = Util.Vec_int.get t.trail t.qhead in
+    t.qhead <- t.qhead + 1;
+    t.propagations <- t.propagations + 1;
+    let falsified = p lxor 1 in
+    let ws = t.watches.(falsified) in
+    let n = Util.Vec_int.length ws in
+    let i = ref 0 and j = ref 0 in
+    (* scan watchers of the now-false literal *)
+    while !i < n do
+      let ci = Util.Vec_int.get ws !i in
+      incr i;
+      let c = t.clauses.(ci) in
+      if c.deleted then () (* lazily drop *)
+      else if !confl >= 0 then begin
+        (* conflict already found: keep remaining watchers untouched *)
+        Util.Vec_int.set ws !j ci;
+        incr j
+      end
+      else begin
+        let lits = c.lits in
+        (* ensure the falsified literal sits at index 1 *)
+        if lits.(0) = falsified then begin
+          lits.(0) <- lits.(1);
+          lits.(1) <- falsified
+        end;
+        if value_lit t lits.(0) = 1 then begin
+          (* clause satisfied; keep watching *)
+          Util.Vec_int.set ws !j ci;
+          incr j
+        end
+        else begin
+          (* look for a new literal to watch *)
+          let len = Array.length lits in
+          let k = ref 2 in
+          while !k < len && value_lit t lits.(!k) = 0 do
+            incr k
+          done;
+          if !k < len then begin
+            lits.(1) <- lits.(!k);
+            lits.(!k) <- falsified;
+            watch t lits.(1) ci
+          end
+          else begin
+            (* unit or conflicting *)
+            Util.Vec_int.set ws !j ci;
+            incr j;
+            if value_lit t lits.(0) = 0 then begin
+              confl := ci;
+              t.qhead <- Util.Vec_int.length t.trail
+            end
+            else enqueue t lits.(0) ci
+          end
+        end
+      end
+    done;
+    Util.Vec_int.resize ws !j 0
+  done;
+  !confl
+
+(* ---------- conflict analysis (first UIP) ---------- *)
+
+let litredundant t cl_mask q =
+  (* cheap non-recursive minimization: q is redundant when its reason's
+     other literals are all already in the learnt clause or at level 0 *)
+  let r = t.reasons.(q lsr 1) in
+  r >= 0
+  && begin
+       let lits = t.clauses.(r).lits in
+       let len = Array.length lits in
+       let rec check k =
+         k >= len
+         ||
+         let v = lits.(k) lsr 1 in
+         (v = q lsr 1 || t.levels.(v) = 0 || (t.seen.(v) && Hashtbl.mem cl_mask (t.levels.(v))))
+         && check (k + 1)
+       in
+       check 0
+     end
+
+let analyze t confl =
+  let learnt = Util.Vec_int.create () in
+  Util.Vec_int.push learnt 0;
+  (* slot for the asserting literal *)
+  let to_clear = Util.Vec_int.create () in
+  let path = ref 0 in
+  let p = ref (-1) in
+  let index = ref (Util.Vec_int.length t.trail - 1) in
+  let confl = ref confl in
+  let continue = ref true in
+  while !continue do
+    let c = t.clauses.(!confl) in
+    if c.learnt then bump_clause t c;
+    let start = if !p = -1 then 0 else 1 in
+    for k = start to Array.length c.lits - 1 do
+      let q = c.lits.(k) in
+      let v = q lsr 1 in
+      if (not t.seen.(v)) && t.levels.(v) > 0 then begin
+        t.seen.(v) <- true;
+        Util.Vec_int.push to_clear v;
+        bump_var t v;
+        if t.levels.(v) >= decision_level t then incr path else Util.Vec_int.push learnt q
+      end
+    done;
+    (* next literal on the trail that participates in the conflict *)
+    while not t.seen.(Util.Vec_int.get t.trail !index lsr 1) do
+      decr index
+    done;
+    p := Util.Vec_int.get t.trail !index;
+    decr index;
+    decr path;
+    t.seen.(!p lsr 1) <- false;
+    if !path > 0 then confl := t.reasons.(!p lsr 1) else continue := false
+  done;
+  Util.Vec_int.set learnt 0 (!p lxor 1);
+  (* clause minimization *)
+  let levels_mask = Hashtbl.create 16 in
+  Util.Vec_int.iter (fun q -> Hashtbl.replace levels_mask t.levels.(q lsr 1) ()) learnt;
+  let kept = Util.Vec_int.create () in
+  Util.Vec_int.push kept (Util.Vec_int.get learnt 0);
+  for k = 1 to Util.Vec_int.length learnt - 1 do
+    let q = Util.Vec_int.get learnt k in
+    if litredundant t levels_mask q then t.minimized_literals <- t.minimized_literals + 1
+    else Util.Vec_int.push kept q
+  done;
+  (* clear seen *)
+  Util.Vec_int.iter (fun v -> t.seen.(v) <- false) to_clear;
+  (* compute backtrack level; move the max-level literal to index 1 *)
+  let nk = Util.Vec_int.length kept in
+  t.learnt_literals <- t.learnt_literals + nk;
+  if nk = 1 then (Util.Vec_int.to_array kept, 0)
+  else begin
+    let max_i = ref 1 in
+    for k = 2 to nk - 1 do
+      if t.levels.(Util.Vec_int.get kept k lsr 1) > t.levels.(Util.Vec_int.get kept !max_i lsr 1)
+      then max_i := k
+    done;
+    let tmp = Util.Vec_int.get kept 1 in
+    Util.Vec_int.set kept 1 (Util.Vec_int.get kept !max_i);
+    Util.Vec_int.set kept !max_i tmp;
+    (Util.Vec_int.to_array kept, t.levels.(Util.Vec_int.get kept 1 lsr 1))
+  end
+
+(* Assumption-level unsat core: [p] is an assumption found false under the
+   earlier ones. Walk the implication graph from [p]'s variable back to
+   the decisions (which, below the assumption prefix, are exactly the
+   assumption literals). Must run before backtracking. *)
+let analyze_final t p =
+  let core = ref [ p ] in
+  if decision_level t > 0 then begin
+    let v0 = p lsr 1 in
+    t.seen.(v0) <- true;
+    let bottom = Util.Vec_int.get t.trail_lim 0 in
+    for i = Util.Vec_int.length t.trail - 1 downto bottom do
+      let l = Util.Vec_int.get t.trail i in
+      let v = l lsr 1 in
+      if t.seen.(v) then begin
+        (if t.reasons.(v) = -1 then core := l :: !core
+         else begin
+           let lits = t.clauses.(t.reasons.(v)).lits in
+           Array.iter
+             (fun q ->
+               let w = q lsr 1 in
+               if w <> v && t.levels.(w) > 0 then t.seen.(w) <- true)
+             lits
+         end);
+        t.seen.(v) <- false
+      end
+    done;
+    t.seen.(v0) <- false
+  end;
+  !core
+
+(* ---------- learnt clause database reduction ---------- *)
+
+let locked t ci =
+  let c = t.clauses.(ci) in
+  Array.length c.lits > 0
+  &&
+  let v = c.lits.(0) lsr 1 in
+  t.reasons.(v) = ci && t.assigns.(v) >= 0
+
+let reduce_learnts t =
+  let learnts = ref [] in
+  for ci = 0 to t.n_clauses - 1 do
+    let c = t.clauses.(ci) in
+    if c.learnt && (not c.deleted) && Array.length c.lits > 2 && not (locked t ci) then
+      learnts := (c.activity, ci) :: !learnts
+  done;
+  let sorted = List.sort compare !learnts in
+  let total = List.length sorted in
+  let to_drop = total / 2 in
+  List.iteri
+    (fun k (_, ci) ->
+      if k < to_drop then begin
+        t.clauses.(ci).deleted <- true;
+        t.n_learnt <- t.n_learnt - 1
+      end)
+    sorted;
+  t.max_learnt <- t.max_learnt + (t.max_learnt / 10)
+
+(* ---------- clause addition ---------- *)
+
+let add_clause t lits =
+  assert (decision_level t = 0);
+  if not t.ok then false
+  else begin
+    (* normalize: sort, drop duplicates and level-0-false literals, detect
+       tautologies and level-0-true literals *)
+    let sorted = List.sort_uniq compare lits in
+    let tautology =
+      let rec go = function
+        | a :: (b :: _ as rest) -> a lxor 1 = b || go rest
+        | _ -> false
+      in
+      go sorted
+    in
+    let satisfied = List.exists (fun l -> value_lit t l = 1) sorted in
+    if tautology || satisfied then true
+    else begin
+      let remaining = List.filter (fun l -> value_lit t l <> 0) sorted in
+      match remaining with
+      | [] ->
+        t.ok <- false;
+        false
+      | [ u ] ->
+        enqueue t u (-1);
+        if propagate t >= 0 then begin
+          t.ok <- false;
+          false
+        end
+        else true
+      | _ :: _ :: _ ->
+        let c =
+          { lits = Array.of_list remaining; activity = 0.0; learnt = false; deleted = false }
+        in
+        let ci = push_clause t c in
+        attach_clause t ci;
+        true
+    end
+  end
+
+let record_learnt t lits =
+  if Array.length lits = 1 then enqueue t lits.(0) (-1)
+  else begin
+    let c = { lits; activity = 0.0; learnt = true; deleted = false } in
+    let ci = push_clause t c in
+    t.n_learnt <- t.n_learnt + 1;
+    attach_clause t ci;
+    bump_clause t c;
+    enqueue t lits.(0) ci
+  end
+
+(* ---------- search ---------- *)
+
+let save_model t =
+  t.model <- Array.sub t.assigns 0 t.nvars
+
+let pick_branch_var t =
+  let rec go () =
+    if Util.Vec_int.is_empty t.heap then -1
+    else
+      let v = heap_pop t in
+      if t.assigns.(v) < 0 then v else go ()
+  in
+  go ()
+
+let solve ?(assumptions = []) ?(conflict_limit = max_int) t =
+  cancel_until t 0;
+  t.failed <- [];
+  if not t.ok then Unsat
+  else begin
+    let assumps = Array.of_list assumptions in
+    let conflicts_at_entry = t.conflicts in
+    let restart_count = ref 0 in
+    let budget = ref (restart_base * Util.Luby.term 1) in
+    let conflicts_this_restart = ref 0 in
+    let status = ref None in
+    (* level-0 propagation of anything pending *)
+    if propagate t >= 0 then begin
+      t.ok <- false;
+      status := Some Unsat
+    end;
+    while !status = None do
+      let confl = propagate t in
+      if confl >= 0 then begin
+        t.conflicts <- t.conflicts + 1;
+        incr conflicts_this_restart;
+        if decision_level t = 0 then begin
+          t.ok <- false;
+          status := Some Unsat
+        end
+        else begin
+          let learnt, bt = analyze t confl in
+          cancel_until t bt;
+          record_learnt t learnt;
+          decay_var_activity t;
+          decay_clause_activity t
+        end
+      end
+      else if t.conflicts - conflicts_at_entry >= conflict_limit then begin
+        cancel_until t 0;
+        status := Some Unknown
+      end
+      else if !conflicts_this_restart >= !budget then begin
+        (* restart *)
+        t.restarts <- t.restarts + 1;
+        incr restart_count;
+        conflicts_this_restart := 0;
+        budget := restart_base * Util.Luby.term (!restart_count + 1);
+        cancel_until t 0
+      end
+      else if t.n_learnt > t.max_learnt then reduce_learnts t
+      else begin
+        (* extend the assignment: assumptions first, then decision *)
+        let dl = decision_level t in
+        if dl < Array.length assumps then begin
+          let p = assumps.(dl) in
+          match value_lit t p with
+          | 1 ->
+            (* already true: open a dummy level so indices line up *)
+            Util.Vec_int.push t.trail_lim (Util.Vec_int.length t.trail)
+          | 0 ->
+            t.failed <- analyze_final t p;
+            cancel_until t 0;
+            status := Some Unsat
+          | _ ->
+            Util.Vec_int.push t.trail_lim (Util.Vec_int.length t.trail);
+            enqueue t p (-1)
+        end
+        else begin
+          let v = pick_branch_var t in
+          if v < 0 then begin
+            save_model t;
+            cancel_until t 0;
+            status := Some Sat
+          end
+          else begin
+            t.decisions <- t.decisions + 1;
+            Util.Vec_int.push t.trail_lim (Util.Vec_int.length t.trail);
+            let phase = t.saved_phase.(v) in
+            enqueue t ((v lsl 1) lor (if phase then 0 else 1)) (-1)
+          end
+        end
+      end
+    done;
+    cancel_until t 0;
+    match !status with Some s -> s | None -> Unknown
+  end
+
+let value t v =
+  if v < 0 || v >= Array.length t.model then None
+  else
+    match t.model.(v) with
+    | 0 -> Some false
+    | 1 -> Some true
+    | _ -> None
+
+let failed_assumptions t = t.failed
+
+let lit_true t l =
+  match value t (l lsr 1) with
+  | Some b -> b <> (l land 1 = 1)
+  | None -> false
+
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  restarts : int;
+  learnt_literals : int;
+  minimized_literals : int;
+  max_learnt : int;
+  clauses : int;
+}
+
+let stats (t : t) =
+  {
+    decisions = t.decisions;
+    propagations = t.propagations;
+    conflicts = t.conflicts;
+    restarts = t.restarts;
+    learnt_literals = t.learnt_literals;
+    minimized_literals = t.minimized_literals;
+    max_learnt = t.max_learnt;
+    clauses = t.n_clauses;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "decisions=%d propagations=%d conflicts=%d restarts=%d learnt-lits=%d minimized=%d clauses=%d"
+    s.decisions s.propagations s.conflicts s.restarts s.learnt_literals s.minimized_literals
+    s.clauses

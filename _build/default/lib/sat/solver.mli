@@ -1,0 +1,66 @@
+(** Conflict-driven clause-learning SAT solver.
+
+    The paper implements its SAT-merge routine "on top of ZChaff", loading
+    one clause database and factorizing many equivalence checks into a
+    single run. This solver provides the same capability set: two-watched
+    literal propagation, VSIDS decision heuristic, first-UIP conflict
+    learning with clause minimization, phase saving, Luby restarts, learnt
+    clause-database reduction, and — crucially for the merge engine —
+    {e incremental} use: clauses may be added between calls to {!solve},
+    and each call may carry {e assumptions} (temporary unit decisions),
+    which is how activation literals implement retractable queries on a
+    shared clause database. *)
+
+type t
+
+type result = Sat | Unsat | Unknown
+
+val create : unit -> t
+
+(** Allocate a fresh variable, returning its index. *)
+val new_var : t -> int
+
+val num_vars : t -> int
+
+(** [add_clause t lits] adds a clause. Returns [false] when the clause
+    database became unsatisfiable at level 0 (further solving is futile;
+    {!solve} will keep answering [Unsat]). Clauses may be added at any
+    point between [solve] calls. *)
+val add_clause : t -> Lit.t list -> bool
+
+(** [solve t ~assumptions] decides satisfiability of the clause database
+    under the given temporary assumptions. [conflict_limit] (number of
+    conflicts) makes the call budgeted: exceeding it yields [Unknown].
+    [Unsat] under non-empty assumptions means "unsatisfiable together with
+    these assumptions", not global unsatisfiability. *)
+val solve : ?assumptions:Lit.t list -> ?conflict_limit:int -> t -> result
+
+(** Model access after a [Sat] answer; [None] for variables the model left
+    unconstrained. *)
+val value : t -> int -> bool option
+
+(** After an [Unsat] answer from a {!solve} call with assumptions: a
+    subset of those assumptions that is already jointly inconsistent with
+    the clause database (an assumption-level unsat core; empty when the
+    database is unsatisfiable on its own). *)
+val failed_assumptions : t -> Lit.t list
+
+(** [lit_true t l] is [true] when the current model satisfies [l]. *)
+val lit_true : t -> Lit.t -> bool
+
+(** [false] once the database is unsatisfiable without assumptions. *)
+val ok : t -> bool
+
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  restarts : int;
+  learnt_literals : int;
+  minimized_literals : int;
+  max_learnt : int;
+  clauses : int;
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

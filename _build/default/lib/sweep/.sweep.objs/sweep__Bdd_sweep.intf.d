@@ -1,0 +1,1 @@
+lib/sweep/bdd_sweep.mli: Aig

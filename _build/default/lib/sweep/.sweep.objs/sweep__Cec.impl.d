@@ -1,0 +1,1 @@
+lib/sweep/cec.ml: Aig Cnf Format List Sweeper Util

@@ -1,0 +1,1 @@
+lib/sweep/cec.mli: Aig Cnf Format Sweeper Util

@@ -1,0 +1,1 @@
+lib/sweep/sim.ml: Aig Array Hashtbl Int64 List Util

@@ -1,0 +1,1 @@
+lib/sweep/sim.mli: Aig Util

@@ -1,0 +1,1 @@
+lib/sweep/sweeper.ml: Aig Bdd_sweep Cnf Format Hashtbl List Sim

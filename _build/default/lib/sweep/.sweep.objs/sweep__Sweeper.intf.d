@@ -1,0 +1,1 @@
+lib/sweep/sweeper.mli: Aig Cnf Format Util

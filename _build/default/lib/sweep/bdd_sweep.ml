@@ -1,0 +1,54 @@
+type result = {
+  merges : (int * Aig.lit) list;
+  nodes_built : int;
+  aborted : bool;
+}
+
+let run aig ~roots ~max_nodes =
+  let man = Bdd.create () in
+  let node_bdd : (int, Bdd.node) Hashtbl.t = Hashtbl.create 64 in
+  (* canonical BDD -> literal that denotes it *)
+  let seen : (Bdd.node, Aig.lit) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.replace seen Bdd.zero Aig.false_;
+  Hashtbl.replace node_bdd 0 Bdd.zero;
+  let merges = ref [] in
+  let built = ref 0 in
+  let aborted = ref false in
+  let bdd_of_lit l =
+    let b = Hashtbl.find node_bdd (Aig.node_of_lit l) in
+    if Aig.is_complemented l then Bdd.not_ man b else b
+  in
+  let register n b =
+    Hashtbl.replace node_bdd n b;
+    incr built;
+    let nb = Bdd.not_ man b in
+    let canon, phase = if nb < b then (nb, 1) else (b, 0) in
+    (* [rep] denotes the canonical BDD; the merge must always point from
+       the younger node to the older one, or rebuilding could cycle *)
+    match Hashtbl.find_opt seen canon with
+    | Some rep ->
+      let rn = Aig.node_of_lit rep in
+      if rn < n then merges := (n, rep lxor phase) :: !merges
+      else if rn > n then begin
+        let lit_n_canonical = Aig.lit_of_node n lxor phase in
+        merges := (rn, lit_n_canonical lxor (rep land 1)) :: !merges;
+        Hashtbl.replace seen canon lit_n_canonical
+      end
+    | None -> Hashtbl.replace seen canon (Aig.lit_of_node n lxor phase)
+  in
+  (* leaves first, in variable order, then AND nodes in topological order *)
+  let result =
+    Bdd.with_limit man ~max_nodes (fun () ->
+        List.iter
+          (fun v ->
+            let n = Aig.node_of_lit (Aig.var aig v) in
+            register n (Bdd.var_node man v))
+          (Aig.support_list aig roots);
+        List.iter
+          (fun n ->
+            let f0, f1 = Aig.fanins aig n in
+            register n (Bdd.and_ man (bdd_of_lit f0) (bdd_of_lit f1)))
+          (Aig.cone aig roots))
+  in
+  (match result with Ok () -> () | Error `Node_limit -> aborted := true);
+  { merges = List.rev !merges; nodes_built = !built; aborted = !aborted }

@@ -1,0 +1,18 @@
+(** BDD sweeping (Kuehlmann & Krohm, DAC'97 — simplified): build
+    size-bounded BDDs bottom-up over an AIG cone; nodes whose BDDs coincide
+    modulo complementation are {e proven} equivalent (BDDs are canonical),
+    so their merges need no SAT confirmation. Construction stops gracefully
+    when the node quota is exhausted, leaving the remaining compare points
+    to the SAT stage. *)
+
+type result = {
+  merges : (int * Aig.lit) list; (* node -> equivalent representative literal *)
+  nodes_built : int; (* AIG nodes that received a BDD *)
+  aborted : bool; (* true when the quota stopped construction *)
+}
+
+(** [run aig ~roots ~max_nodes] sweeps the cone of [roots] with a fresh
+    BDD manager capped at [max_nodes] total BDD nodes. Representatives are
+    always earlier (lower-id) nodes, constants, or variable leaves, so the
+    merge list is acyclic by construction. *)
+val run : Aig.t -> roots:Aig.lit list -> max_nodes:int -> result

@@ -1,0 +1,128 @@
+type t = {
+  aig : Aig.t;
+  and_nodes : int list; (* topological order *)
+  all_nodes : int list; (* constant, variable leaves, then AND nodes *)
+  vars : Aig.var list;
+  prng : Util.Prng.t;
+  sigs : (int, int64 array) Hashtbl.t; (* node -> one word per pattern *)
+  mutable n_patterns : int;
+  mutable n_refinements : int;
+}
+
+let leaf_nodes aig roots =
+  let vars = Aig.support_list aig roots in
+  List.map (fun v -> Aig.node_of_lit (Aig.var aig v)) vars
+
+(* run one pattern (a word per variable) over the cone and append the
+   resulting word to every node signature *)
+let append_pattern t words =
+  let table = Aig.simulate_cone t.aig t.and_nodes words in
+  List.iter
+    (fun n ->
+      let w =
+        match Hashtbl.find_opt table n with
+        | Some w -> w
+        | None -> (
+          (* leaf not touched by the cone walk *)
+          match Aig.var_of_lit t.aig (Aig.lit_of_node n) with
+          | Some v -> words v
+          | None -> 0L (* constant *))
+      in
+      let old = try Hashtbl.find t.sigs n with Not_found -> [||] in
+      let arr = Array.make (Array.length old + 1) w in
+      Array.blit old 0 arr 0 (Array.length old);
+      Hashtbl.replace t.sigs n arr)
+    t.all_nodes;
+  t.n_patterns <- t.n_patterns + 1
+
+let random_pattern t =
+  let table = Hashtbl.create 16 in
+  List.iter (fun v -> Hashtbl.replace table v (Util.Prng.next64 t.prng)) t.vars;
+  fun v -> try Hashtbl.find table v with Not_found -> 0L
+
+let create aig ~roots ~rounds ~prng =
+  let and_nodes = Aig.cone aig roots in
+  let vars = Aig.support_list aig roots in
+  let all_nodes =
+    List.sort_uniq compare ((0 :: leaf_nodes aig roots) @ and_nodes)
+  in
+  let t =
+    {
+      aig;
+      and_nodes;
+      all_nodes;
+      vars;
+      prng;
+      sigs = Hashtbl.create (List.length all_nodes);
+      n_patterns = 0;
+      n_refinements = 0;
+    }
+  in
+  for _ = 1 to max 1 rounds do
+    append_pattern t (random_pattern t)
+  done;
+  t
+
+let nodes t = t.all_nodes
+
+let signature t n = try Hashtbl.find t.sigs n with Not_found -> [||]
+
+(* normalized signature of a node: complemented so that bit 0 of word 0 is
+   clear; returns the phase that was applied *)
+let normalized t n =
+  let s = signature t n in
+  if Array.length s = 0 then (s, 0)
+  else if Int64.logand s.(0) 1L = 1L then (Array.map Int64.lognot s, 1)
+  else (s, 0)
+
+let lit_signature t l =
+  let s = signature t (Aig.node_of_lit l) in
+  if Aig.is_complemented l then Array.map Int64.lognot s else s
+
+let classes t =
+  let buckets : (int64 array, Aig.lit list ref) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun n ->
+      let key, phase = normalized t n in
+      let l = Aig.lit_of_node n lxor phase in
+      match Hashtbl.find_opt buckets key with
+      | Some members -> members := l :: !members
+      | None ->
+        let members = ref [ l ] in
+        Hashtbl.replace buckets key members;
+        order := key :: !order)
+    t.all_nodes;
+  List.rev !order
+  |> List.filter_map (fun key ->
+         let members = List.rev !(Hashtbl.find buckets key) in
+         match members with
+         | _ :: _ :: _ -> Some members
+         | [] | [ _ ] -> None)
+
+let class_count t =
+  let keys = Hashtbl.create 64 in
+  List.iter (fun n -> Hashtbl.replace keys (fst (normalized t n)) ()) t.all_nodes;
+  Hashtbl.length keys
+
+let same_class t a b = lit_signature t a = lit_signature t b
+
+let refine t pattern =
+  let before = class_count t in
+  (* lane 0 carries the model; the other 63 lanes are sparse random flips
+     of it, turning one counterexample into a neighbourhood of patterns *)
+  let word_for v =
+    let w = ref (if pattern v then -1L else 0L) in
+    (* flip each of lanes 1..63 with probability 1/8 *)
+    for lane = 1 to 63 do
+      if Util.Prng.int t.prng 8 = 0 then w := Int64.logxor !w (Int64.shift_left 1L lane)
+    done;
+    !w
+  in
+  let table = Hashtbl.create 16 in
+  List.iter (fun v -> Hashtbl.replace table v (word_for v)) t.vars;
+  append_pattern t (fun v -> try Hashtbl.find table v with Not_found -> 0L);
+  t.n_refinements <- t.n_refinements + 1;
+  class_count t - before
+
+let refinements t = t.n_refinements

@@ -1,0 +1,44 @@
+(** Random-simulation signatures for merge-candidate detection.
+
+    Every node of the cone under analysis gets a 64·w-bit signature from
+    [w] rounds of parallel random simulation. Nodes whose signatures agree
+    {e modulo complementation} form candidate equivalence classes — the
+    cheap filter in front of BDD sweeping and SAT checks. Distinguishing
+    SAT models are folded back in as extra patterns, so one counterexample
+    splits every class it distinguishes (the paper's observation that a
+    single solver solution rules out several non-matching couples). *)
+
+type t
+
+(** [create aig ~roots ~rounds ~prng] simulates the cone of [roots] with
+    [rounds] random 64-bit words per variable. The constant node is always
+    part of the analysis, so constant candidates are detected too. *)
+val create : Aig.t -> roots:Aig.lit list -> rounds:int -> prng:Util.Prng.t -> t
+
+(** Nodes of the analyzed cone (topological order), including leaves and
+    the constant node. *)
+val nodes : t -> int list
+
+(** The candidate classes: each class is a list of literals (a node with
+    the phase that normalizes its signature), of length at least 2, sorted
+    by node id. A class containing the constant literal means its members
+    are candidate constants. *)
+val classes : t -> Aig.lit list list
+
+(** [same_class t a b] — do literals [a] and [b] currently carry equal
+    signatures (i.e. are they still candidate-equal)? *)
+val same_class : t -> Aig.lit -> Aig.lit -> bool
+
+(** The signature of a literal: one word per pattern, complemented words
+    for complemented literals. Clients mask signatures with a care-set
+    signature to propose don't-care-equal candidates (synthesis phase). *)
+val lit_signature : t -> Aig.lit -> int64 array
+
+(** [refine t pattern] adds one concrete assignment as an extra
+    simulation pattern and re-splits all classes. Variables absent from
+    [pattern] default to [false]. Returns the number of classes that were
+    split. *)
+val refine : t -> (Aig.var -> bool) -> int
+
+(** Number of refinement patterns folded in so far. *)
+val refinements : t -> int

@@ -1,0 +1,180 @@
+type direction = Forward | Backward
+
+type config = {
+  sim_rounds : int;
+  bdd_node_limit : int;
+  sat : direction option;
+  sat_conflict_limit : int option;
+}
+
+let default =
+  { sim_rounds = 8; bdd_node_limit = 5_000; sat = Some Forward; sat_conflict_limit = Some 10_000 }
+
+type report = {
+  cone_size : int;
+  candidate_classes : int;
+  candidate_literals : int;
+  bdd_merges : int;
+  bdd_aborted : bool;
+  sat_merges : int;
+  sat_calls : int;
+  sat_refuted : int;
+  sat_unknown : int;
+  sat_skipped_covered : int;
+  sim_refinements : int;
+  total_merges : int;
+}
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "cone=%d classes=%d cand-lits=%d bdd-merges=%d%s sat: merges=%d calls=%d refuted=%d \
+     unknown=%d skipped=%d refinements=%d total-merges=%d"
+    r.cone_size r.candidate_classes r.candidate_literals r.bdd_merges
+    (if r.bdd_aborted then "(aborted)" else "")
+    r.sat_merges r.sat_calls r.sat_refuted r.sat_unknown r.sat_skipped_covered r.sim_refinements
+    r.total_merges
+
+(* Parity union-find over node ids stored as node -> representative literal.
+   The representative of a class is always its lowest node id, which makes
+   the final substitution acyclic for [Aig.rebuild] (fanins have lower ids
+   than the nodes above them). *)
+module Merge_map = struct
+  type t = (int, Aig.lit) Hashtbl.t
+
+  let create () : t = Hashtbl.create 64
+
+  let rec find (t : t) n =
+    match Hashtbl.find_opt t n with
+    | None -> Aig.lit_of_node n
+    | Some l ->
+      let r = find t (Aig.node_of_lit l) lxor (l land 1) in
+      Hashtbl.replace t n r;
+      r
+
+  let find_lit t l = find t (Aig.node_of_lit l) lxor (l land 1)
+
+  (* record that literals [a] and [b] denote the same function *)
+  let union t a b =
+    let ra = find_lit t a and rb = find_lit t b in
+    let na = Aig.node_of_lit ra and nb = Aig.node_of_lit rb in
+    if na <> nb then
+      if na < nb then Hashtbl.replace t nb (ra lxor (rb land 1))
+      else Hashtbl.replace t na (rb lxor (ra land 1))
+
+  let merged_nodes t = Hashtbl.length t
+end
+
+let run ?(config = default) aig checker ~prng ~roots =
+  let mm = Merge_map.create () in
+  let cone_size = Aig.size_list aig roots in
+  (* stage 2: simulation candidates *)
+  let sim = Sim.create aig ~roots ~rounds:config.sim_rounds ~prng in
+  let initial_classes = Sim.classes sim in
+  let candidate_classes = List.length initial_classes in
+  let candidate_literals = List.fold_left (fun acc c -> acc + List.length c) 0 initial_classes in
+  (* stage 3: BDD sweeping *)
+  let bdd_merges, bdd_aborted =
+    if config.bdd_node_limit <= 0 then (0, false)
+    else begin
+      let res = Bdd_sweep.run aig ~roots ~max_nodes:config.bdd_node_limit in
+      List.iter (fun (n, rep) -> Merge_map.union mm (Aig.lit_of_node n) rep) res.merges;
+      (List.length res.merges, res.aborted)
+    end
+  in
+  (* stage 4: SAT merging on the remaining compare points *)
+  let sat_merges = ref 0 in
+  let sat_calls = ref 0 in
+  let sat_refuted = ref 0 in
+  let sat_unknown = ref 0 in
+  let sat_skipped = ref 0 in
+  (match config.sat with
+  | None -> ()
+  | Some direction ->
+    Cnf.Checker.set_conflict_limit checker config.sat_conflict_limit;
+    let hard : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
+    (* backward mode: nodes strictly below an already-merged node *)
+    let covered : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+    let cover l =
+      List.iter (fun n -> Hashtbl.replace covered n ()) (Aig.cone aig [ l ])
+    in
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      let classes = Sim.classes sim in
+      (* order the compare points: forward by increasing level, backward by
+         decreasing level of the pair's second member *)
+      let pairs =
+        List.concat_map
+          (fun members ->
+            match members with
+            | [] | [ _ ] -> []
+            | repr :: rest -> List.map (fun m -> (repr, m)) rest)
+          classes
+      in
+      let key (_, m) = Aig.level aig (Aig.node_of_lit m) in
+      let pairs =
+        match direction with
+        | Forward -> List.stable_sort (fun a b -> compare (key a) (key b)) pairs
+        | Backward -> List.stable_sort (fun a b -> compare (key b) (key a)) pairs
+      in
+      let rec process = function
+        | [] -> ()
+        | (repr, m) :: rest ->
+          let ra = Merge_map.find_lit mm repr and rb = Merge_map.find_lit mm m in
+          if Aig.node_of_lit ra = Aig.node_of_lit rb then process rest
+          else if Hashtbl.mem hard (Aig.node_of_lit repr, Aig.node_of_lit m) then process rest
+          else if
+            direction = Backward
+            && Hashtbl.mem covered (Aig.node_of_lit repr)
+            && Hashtbl.mem covered (Aig.node_of_lit m)
+          then begin
+            incr sat_skipped;
+            process rest
+          end
+          else begin
+            incr sat_calls;
+            match Cnf.Checker.equal checker ra rb with
+            | Cnf.Checker.Yes ->
+              Merge_map.union mm ra rb;
+              incr sat_merges;
+              if direction = Backward then begin
+                cover ra;
+                cover rb
+              end;
+              process rest
+            | Cnf.Checker.No ->
+              incr sat_refuted;
+              (* fold the distinguishing model back into the signatures:
+                 this splits every class the model distinguishes, so the
+                 pair list must be recomputed *)
+              ignore (Sim.refine sim (fun v -> Cnf.Checker.model_var checker v));
+              progress := true
+            | Cnf.Checker.Maybe ->
+              incr sat_unknown;
+              Hashtbl.replace hard (Aig.node_of_lit repr, Aig.node_of_lit m) ();
+              process rest
+          end
+      in
+      process pairs
+    done);
+  let report =
+    {
+      cone_size;
+      candidate_classes;
+      candidate_literals;
+      bdd_merges;
+      bdd_aborted;
+      sat_merges = !sat_merges;
+      sat_calls = !sat_calls;
+      sat_refuted = !sat_refuted;
+      sat_unknown = !sat_unknown;
+      sat_skipped_covered = !sat_skipped;
+      sim_refinements = Sim.refinements sim;
+      total_merges = Merge_map.merged_nodes mm;
+    }
+  in
+  (Merge_map.find mm, report)
+
+let sweep_lits ?config aig checker ~prng lits =
+  let repl, report = run ?config aig checker ~prng ~roots:lits in
+  (List.map (fun l -> Aig.rebuild aig ~repl l) lits, report)

@@ -1,0 +1,1 @@
+lib/synth/dontcare.ml: Aig Array Cnf Format Hashtbl Int64 List Option Sweep

@@ -1,0 +1,1 @@
+lib/synth/dontcare.mli: Aig Cnf Format Util

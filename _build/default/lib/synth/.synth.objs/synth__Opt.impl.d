@@ -1,0 +1,1 @@
+lib/synth/opt.ml: Aig Sweep

@@ -1,0 +1,1 @@
+lib/synth/opt.mli: Aig Cnf Sweep Util

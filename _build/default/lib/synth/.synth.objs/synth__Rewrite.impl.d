@@ -1,0 +1,1 @@
+lib/synth/rewrite.ml: Aig Array Format Hashtbl List

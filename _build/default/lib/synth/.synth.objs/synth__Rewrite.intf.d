@@ -1,0 +1,1 @@
+lib/synth/rewrite.mli: Aig Format

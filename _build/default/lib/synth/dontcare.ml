@@ -1,0 +1,200 @@
+type config = {
+  sim_rounds : int;
+  conflict_limit : int option;
+  use_merges : bool;
+  odc_max_tries : int;
+}
+
+let default = { sim_rounds = 8; conflict_limit = Some 5_000; use_merges = true; odc_max_tries = 16 }
+
+type report = {
+  const_replacements : int;
+  merge_replacements : int;
+  odc_replacements : int;
+  odc_rejections : int;
+  sat_calls : int;
+  size_before : int;
+  size_after : int;
+}
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "dc-const=%d dc-merge=%d odc=%d odc-rejected=%d sat-calls=%d size %d -> %d"
+    r.const_replacements r.merge_replacements r.odc_replacements r.odc_rejections r.sat_calls
+    r.size_before r.size_after
+
+(* maximum don't-care-equal candidates verified per node *)
+let max_candidates = 4
+
+(* One directed pass: simplify the cone of [target] using [care] as the
+   input care set (its offset is the don't-care set). [extra_targets] are
+   literals whose cones provide merge candidates (typically the other
+   cofactor). Returns the rebuilt literal and the replacement counts. *)
+let input_dc_pass aig checker ~prng ~config ~care ~target ~extra_targets =
+  if care = Aig.true_ || Aig.is_const target then (target, 0, 0)
+  else begin
+    let roots = target :: care :: extra_targets in
+    let sim = Sweep.Sim.create aig ~roots ~rounds:config.sim_rounds ~prng in
+    let care_sig = Sweep.Sim.lit_signature sim care in
+    let mask s = Array.map2 Int64.logand care_sig s in
+    let masked_sig l = mask (Sweep.Sim.lit_signature sim l) in
+    let table : (int64 array, Aig.lit list ref) Hashtbl.t = Hashtbl.create 64 in
+    let register l =
+      let key = masked_sig l in
+      match Hashtbl.find_opt table key with
+      | Some members -> members := l :: !members
+      | None -> Hashtbl.replace table key (ref [ l ])
+    in
+    let register_both l =
+      register l;
+      register (Aig.not_ l)
+    in
+    register_both Aig.false_;
+    (* merge targets: every node (and leaf) of the other cones *)
+    List.iter
+      (fun root ->
+        List.iter (fun v -> register_both (Aig.var aig v)) (Aig.support aig root);
+        List.iter (fun n -> register_both (Aig.lit_of_node n)) (Aig.cone aig [ root ]))
+      extra_targets;
+    List.iter (fun v -> register_both (Aig.var aig v)) (Aig.support aig target);
+    let repl_tbl : (int, Aig.lit) Hashtbl.t = Hashtbl.create 16 in
+    let consts = ref 0 and merges = ref 0 in
+    Cnf.Checker.set_conflict_limit checker config.conflict_limit;
+    List.iter
+      (fun n ->
+        let ln = Aig.lit_of_node n in
+        let candidates =
+          match Hashtbl.find_opt table (masked_sig ln) with
+          | None -> []
+          | Some members ->
+            (* acyclicity: only replace by strictly earlier nodes; prefer
+               constants, then older (smaller) nodes *)
+            List.filter (fun l -> Aig.node_of_lit l < n) !members
+            |> List.sort (fun a b -> compare (Aig.node_of_lit a) (Aig.node_of_lit b))
+        in
+        let candidates =
+          if config.use_merges then candidates else List.filter Aig.is_const candidates
+        in
+        let rec try_candidates budget = function
+          | [] -> ()
+          | lm :: rest ->
+            if budget = 0 then ()
+            else begin
+              match Cnf.Checker.equal_under checker ~care ln lm with
+              | Cnf.Checker.Yes ->
+                Hashtbl.replace repl_tbl n lm;
+                if Aig.is_const lm then incr consts else incr merges
+              | Cnf.Checker.No | Cnf.Checker.Maybe -> try_candidates (budget - 1) rest
+            end
+        in
+        try_candidates max_candidates candidates;
+        if not (Hashtbl.mem repl_tbl n) then register_both ln)
+      (Aig.cone aig [ target ]);
+    let repl n =
+      match Hashtbl.find_opt repl_tbl n with Some l -> l | None -> Aig.lit_of_node n
+    in
+    let rebuilt = Aig.rebuild aig ~repl target in
+    (rebuilt, !consts, !merges)
+  end
+
+(* Observability-don't-care pass on the whole disjunction [g]: try to set
+   nearly-constant internal nodes to the constant they almost always take;
+   accept only when a full equivalence check on [g] validates the change. *)
+let odc_pass aig checker ~prng ~config g =
+  if config.odc_max_tries <= 0 || Aig.is_const g then (g, 0, 0)
+  else begin
+    let accepted = ref 0 and rejected = ref 0 in
+    let g = ref g in
+    let tries = ref config.odc_max_tries in
+    let continue = ref true in
+    while !continue && !tries > 0 do
+      continue := false;
+      let sim = Sweep.Sim.create aig ~roots:[ !g ] ~rounds:config.sim_rounds ~prng in
+      let total_bits = 64 * config.sim_rounds in
+      let popcount w =
+        let c = ref 0 in
+        for b = 0 to 63 do
+          if Int64.logand (Int64.shift_right_logical w b) 1L = 1L then incr c
+        done;
+        !c
+      in
+      let near_constant n =
+        let s = Sweep.Sim.lit_signature sim (Aig.lit_of_node n) in
+        let ones = Array.fold_left (fun acc w -> acc + popcount w) 0 s in
+        if ones > 0 && ones <= max 1 (total_bits / 32) then Some Aig.false_
+        else if ones < total_bits && ones >= total_bits - max 1 (total_bits / 32) then
+          Some Aig.true_
+        else None
+      in
+      let candidates =
+        List.filter_map
+          (fun n -> Option.map (fun c -> (n, c)) (near_constant n))
+          (Aig.cone aig [ !g ])
+        (* deeper nodes first: replacing them removes more logic *)
+        |> List.sort (fun (a, _) (b, _) -> compare (Aig.level aig b) (Aig.level aig a))
+      in
+      let rec attempt = function
+        | [] -> ()
+        | (n, c) :: rest ->
+          if !tries = 0 then ()
+          else begin
+            decr tries;
+            let repl m = if m = n then c else Aig.lit_of_node m in
+            let g' = Aig.rebuild aig ~repl !g in
+            if g' <> !g && Aig.size aig g' < Aig.size aig !g then begin
+              match Cnf.Checker.equal checker !g g' with
+              | Cnf.Checker.Yes ->
+                incr accepted;
+                g := g';
+                continue := true (* re-derive candidates on the new graph *)
+              | Cnf.Checker.No | Cnf.Checker.Maybe ->
+                incr rejected;
+                attempt rest
+            end
+            else attempt rest
+          end
+      in
+      attempt candidates
+    done;
+    (!g, !accepted, !rejected)
+  end
+
+let simplify_under_care ?(config = default) aig checker ~prng ~care f =
+  let before = Aig.size aig f in
+  let f', consts, merges =
+    input_dc_pass aig checker ~prng ~config ~care ~target:f ~extra_targets:[]
+  in
+  if Aig.size aig f' <= before then (f', (consts, merges)) else (f, (0, 0))
+
+let disjunction ?(config = default) aig checker ~prng f0 f1 =
+  let queries0 = Cnf.Checker.queries checker in
+  let plain = Aig.or_ aig f0 f1 in
+  let size_before = Aig.size aig plain in
+  let finish g odc_a odc_r consts merges =
+    {
+      const_replacements = consts;
+      merge_replacements = merges;
+      odc_replacements = odc_a;
+      odc_rejections = odc_r;
+      sat_calls = Cnf.Checker.queries checker - queries0;
+      size_before;
+      size_after = Aig.size aig g;
+    }
+  in
+  if Aig.is_const plain || Aig.is_const f0 || Aig.is_const f1 then
+    (plain, finish plain 0 0 0 0)
+  else begin
+    let f1', c1, m1 =
+      input_dc_pass aig checker ~prng ~config ~care:(Aig.not_ f0) ~target:f1
+        ~extra_targets:[ f0 ]
+    in
+    let f0', c0, m0 =
+      input_dc_pass aig checker ~prng ~config ~care:(Aig.not_ f1') ~target:f0
+        ~extra_targets:[ f1' ]
+    in
+    let g = Aig.or_ aig f0' f1' in
+    (* never ship a result worse than the untransformed disjunction *)
+    let g = if Aig.size aig g <= size_before then g else plain in
+    let g, odc_a, odc_r = odc_pass aig checker ~prng ~config g in
+    (g, finish g odc_a odc_r (c0 + c1) (m0 + m1))
+  end

@@ -1,0 +1,20 @@
+(** Structural clean-up helpers shared by the quantifier and the traversal
+    loop. *)
+
+(** [compact aig l] re-creates the cone of [l] through the hashing/rewrite
+    front-end. Because the manager is monotone this never changes [l]'s
+    function, but later rewrite opportunities (created by merges applied
+    elsewhere in the cone) may shrink it. *)
+val compact : Aig.t -> Aig.lit -> Aig.lit
+
+(** [sweep_and_compact aig checker ~prng ~config l] runs the full merge
+    phase on a single literal and rebuilds it — the routine used to keep
+    reached-state sets small between traversal iterations. Returns the new
+    literal and the sweep report. *)
+val sweep_and_compact :
+  ?config:Sweep.Sweeper.config ->
+  Aig.t ->
+  Cnf.Checker.t ->
+  prng:Util.Prng.t ->
+  Aig.lit ->
+  Aig.lit * Sweep.Sweeper.report

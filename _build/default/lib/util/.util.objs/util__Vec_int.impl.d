@@ -1,0 +1,1 @@
+lib/util/vec_int.ml: Array Format List Printf

@@ -1,0 +1,1 @@
+lib/util/vec_int.mli: Format

@@ -1,0 +1,7 @@
+(* Knuth's closed form: find k with 2^(k-1) <= i < 2^k; the term is
+   2^(k-1) when i = 2^k - 1, else recurse on i - 2^(k-1) + 1. *)
+let rec term i =
+  if i < 1 then invalid_arg "Luby.term: index must be >= 1";
+  let rec find k = if (1 lsl k) - 1 >= i then k else find (k + 1) in
+  let k = find 1 in
+  if i = (1 lsl k) - 1 then 1 lsl (k - 1) else term (i - (1 lsl (k - 1)) + 1)

@@ -1,0 +1,5 @@
+(** The Luby restart sequence 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... used by the
+    SAT solver's restart policy. *)
+
+(** [term i] is the [i]-th term, [i >= 1]. *)
+val term : int -> int

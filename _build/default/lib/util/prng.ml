@@ -1,0 +1,24 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+(* splitmix64, Steele et al.; the standard finalizer constants. *)
+let next64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = next64 t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let raw = Int64.to_int (Int64.shift_right_logical (next64 t) 2) in
+  raw mod bound
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+let float t =
+  let mant = Int64.to_float (Int64.shift_right_logical (next64 t) 11) in
+  mant /. 9007199254740992.0

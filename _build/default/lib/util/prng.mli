@@ -1,0 +1,23 @@
+(** Deterministic pseudo-random generator (splitmix64).
+
+    All randomized components (simulation vectors, decision tie-breaking in
+    experiments, workload generation) draw from explicit [Prng.t] values so
+    that tests and benchmarks are reproducible. *)
+
+type t
+
+val create : int -> t
+
+(** Independent stream derived from the current state. *)
+val split : t -> t
+
+(** Next raw 64-bit word. *)
+val next64 : t -> int64
+
+(** [int t bound] is uniform in [0, bound), [bound > 0]. *)
+val int : t -> int -> int
+
+val bool : t -> bool
+
+(** Uniform float in [0, 1). *)
+val float : t -> float

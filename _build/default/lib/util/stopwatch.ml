@@ -1,0 +1,9 @@
+type t = float
+
+let start () = Unix.gettimeofday ()
+let elapsed t = Unix.gettimeofday () -. t
+
+let time f =
+  let t = start () in
+  let r = f () in
+  (r, elapsed t)

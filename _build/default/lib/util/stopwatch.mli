@@ -1,0 +1,11 @@
+(** Wall-clock timing for experiment reporting. *)
+
+type t
+
+val start : unit -> t
+
+(** Elapsed seconds since [start]. *)
+val elapsed : t -> float
+
+(** [time f] runs [f ()] and returns its result with the elapsed seconds. *)
+val time : (unit -> 'a) -> 'a * float

@@ -1,0 +1,75 @@
+type t = { mutable parent : int array; mutable rank : int array; mutable n : int }
+
+let create n =
+  let n = max n 0 in
+  { parent = Array.init (max n 1) (fun i -> i); rank = Array.make (max n 1) 0; n }
+
+let ensure t k =
+  if k >= t.n then begin
+    let cap = Array.length t.parent in
+    if k >= cap then begin
+      let cap' = max (k + 1) (cap * 2) in
+      let parent' = Array.init cap' (fun i -> i) in
+      Array.blit t.parent 0 parent' 0 t.n;
+      let rank' = Array.make cap' 0 in
+      Array.blit t.rank 0 rank' 0 t.n;
+      t.parent <- parent';
+      t.rank <- rank'
+    end;
+    for i = t.n to k do
+      t.parent.(i) <- i;
+      t.rank.(i) <- 0
+    done;
+    t.n <- k + 1
+  end
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let r = find t p in
+    t.parent.(x) <- r;
+    r
+  end
+
+let union t a b =
+  ensure t a;
+  ensure t b;
+  let ra = find t a and rb = find t b in
+  if ra = rb then ra
+  else if t.rank.(ra) < t.rank.(rb) then begin
+    t.parent.(ra) <- rb;
+    rb
+  end
+  else if t.rank.(ra) > t.rank.(rb) then begin
+    t.parent.(rb) <- ra;
+    ra
+  end
+  else begin
+    t.parent.(rb) <- ra;
+    t.rank.(ra) <- t.rank.(ra) + 1;
+    ra
+  end
+
+let union_into t ~root a =
+  ensure t root;
+  ensure t a;
+  let rr = find t root and ra = find t a in
+  if rr <> ra then begin
+    t.parent.(ra) <- rr;
+    if t.rank.(rr) <= t.rank.(ra) then t.rank.(rr) <- t.rank.(ra) + 1
+  end
+
+let same t a b =
+  ensure t a;
+  ensure t b;
+  find t a = find t b
+
+let size t = t.n
+
+let class_count t =
+  let c = ref 0 in
+  for i = 0 to t.n - 1 do
+    if find t i = i then incr c
+  done;
+  !c

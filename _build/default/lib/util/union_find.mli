@@ -1,0 +1,27 @@
+(** Union-find over dense integer keys with path compression and union by
+    rank. Used by the sweeping engine to maintain merge classes of AIG
+    nodes. *)
+
+type t
+
+(** [create n] has elements [0 .. n-1], each in its own class. *)
+val create : int -> t
+
+(** [ensure t n] grows the domain so that element [n] is valid. *)
+val ensure : t -> int -> unit
+
+val find : t -> int -> int
+
+(** [union t a b] merges the classes of [a] and [b] and returns the new
+    representative. *)
+val union : t -> int -> int -> int
+
+(** [union_into t ~root a] merges [a]'s class into [root]'s class keeping
+    [root]'s representative as the class representative. *)
+val union_into : t -> root:int -> int -> unit
+
+val same : t -> int -> int -> bool
+val size : t -> int
+
+(** Number of distinct classes currently in the structure. O(n). *)
+val class_count : t -> int

@@ -1,0 +1,1 @@
+test/test_aig.ml: Aig Alcotest Int64 List Option Printf QCheck QCheck_alcotest

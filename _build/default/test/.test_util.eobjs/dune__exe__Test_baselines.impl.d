@@ -1,0 +1,1 @@
+test/test_baselines.ml: Aig Alcotest Baselines Cbq Circuits Cnf Format List Netlist Util

@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Bdd List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cbq.ml: Aig Alcotest Array Bdd Cbq Circuits Cnf Format Fun List Netlist Option Printf QCheck QCheck_alcotest Util

@@ -1,0 +1,1 @@
+test/test_circuits.ml: Aig Alcotest Circuits Fun List Netlist Printf Util

@@ -1,0 +1,1 @@
+test/test_cnf.ml: Aig Alcotest Cnf Format Fun List QCheck QCheck_alcotest Sat

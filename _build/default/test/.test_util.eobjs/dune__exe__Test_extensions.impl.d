@@ -1,0 +1,1 @@
+test/test_extensions.ml: Aig Alcotest Array Baselines Bdd Cbq Circuits Cnf Format Hashtbl List Netlist Printf QCheck QCheck_alcotest Sat Sweep Synth Util

@@ -1,0 +1,1 @@
+test/test_integration.ml: Aig Alcotest Array Baselines Cbq Circuits Cnf Format List Netlist Printf String Util

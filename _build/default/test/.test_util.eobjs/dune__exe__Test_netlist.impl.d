@@ -1,0 +1,1 @@
+test/test_netlist.ml: Aig Alcotest Circuits Filename Fun List Netlist String Sys Util

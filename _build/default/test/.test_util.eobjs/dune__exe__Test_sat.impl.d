@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array Format List Printf QCheck QCheck_alcotest Sat String

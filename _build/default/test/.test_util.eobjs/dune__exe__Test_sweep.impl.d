@@ -1,0 +1,1 @@
+test/test_sweep.ml: Aig Alcotest Cnf List QCheck QCheck_alcotest Sweep Util

@@ -1,0 +1,1 @@
+test/test_synth.ml: Aig Alcotest Cnf QCheck QCheck_alcotest Sweep Synth Util

@@ -1,0 +1,403 @@
+(* AIG manager tests: construction rules, semantics against brute-force
+   evaluation, cones, cofactors, composition, rebuilding, simulation. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* evaluate a literal under an assignment encoded as an int bitmask *)
+let eval_mask aig l mask = Aig.eval aig l (fun v -> (mask lsr v) land 1 = 1)
+
+(* semantic equality of two literals over [n] variables, by enumeration *)
+let semantically_equal aig n a b =
+  let rec go mask =
+    mask >= 1 lsl n || (eval_mask aig a mask = eval_mask aig b mask && go (mask + 1))
+  in
+  go 0
+
+(* ---------- constructors and trivial rules ---------- *)
+
+let test_constants () =
+  let aig = Aig.create () in
+  check bool "false is const" true (Aig.is_const Aig.false_);
+  check bool "true is const" true (Aig.is_const Aig.true_);
+  check int "not false = true" Aig.true_ (Aig.not_ Aig.false_);
+  check int "double negation" Aig.false_ (Aig.not_ (Aig.not_ Aig.false_));
+  let x = Aig.var aig 0 in
+  check int "x & 1 = x" x (Aig.and_ aig x Aig.true_);
+  check int "x & 0 = 0" Aig.false_ (Aig.and_ aig x Aig.false_);
+  check int "x & x = x" x (Aig.and_ aig x x);
+  check int "x & ~x = 0" Aig.false_ (Aig.and_ aig x (Aig.not_ x))
+
+let test_or_xor_ite () =
+  let aig = Aig.create () in
+  let x = Aig.var aig 0 and y = Aig.var aig 1 and c = Aig.var aig 2 in
+  check bool "or truth table" true
+    (semantically_equal aig 2 (Aig.or_ aig x y) (Aig.not_ (Aig.and_ aig (Aig.not_ x) (Aig.not_ y))));
+  (* xor: differs from or exactly when both inputs are 1 *)
+  let xor = Aig.xor_ aig x y in
+  check bool "xor 00" false (eval_mask aig xor 0b00);
+  check bool "xor 01" true (eval_mask aig xor 0b01);
+  check bool "xor 10" true (eval_mask aig xor 0b10);
+  check bool "xor 11" false (eval_mask aig xor 0b11);
+  let ite = Aig.ite aig c x y in
+  (* c=1 selects x (var 0), c=0 selects y (var 1) *)
+  check bool "ite c" true (eval_mask aig ite 0b101);
+  check bool "ite ~c" true (eval_mask aig ite 0b010);
+  check bool "iff" true (semantically_equal aig 2 (Aig.iff_ aig x y) (Aig.not_ xor));
+  check bool "implies" true
+    (semantically_equal aig 2 (Aig.implies aig x y) (Aig.or_ aig (Aig.not_ x) y))
+
+let test_strash_sharing () =
+  let aig = Aig.create () in
+  let x = Aig.var aig 0 and y = Aig.var aig 1 in
+  let a = Aig.and_ aig x y in
+  let b = Aig.and_ aig y x in
+  check int "commuted AND shares the node" a b;
+  let before = Aig.num_ands aig in
+  let _ = Aig.and_ aig x y in
+  check int "no new node for repeat" before (Aig.num_ands aig)
+
+(* the two-level "semi-canonicity" rewrite rules *)
+let test_rewrite_rules () =
+  let aig = Aig.create () in
+  let x = Aig.var aig 0 and y = Aig.var aig 1 in
+  let xy = Aig.and_ aig x y in
+  check int "contradiction: (x&y)&~x = 0" Aig.false_ (Aig.and_ aig xy (Aig.not_ x));
+  check int "idempotence: (x&y)&x = x&y" xy (Aig.and_ aig xy x);
+  check int "subsumption: ~(x&y)&~x = ~x" (Aig.not_ x) (Aig.and_ aig (Aig.not_ xy) (Aig.not_ x));
+  (* substitution: ~(x&y)&x = x&~y *)
+  let subst = Aig.and_ aig (Aig.not_ xy) x in
+  check int "substitution rewrites" (Aig.and_ aig x (Aig.not_ y)) subst;
+  (* two-sided: (x&y)&(~x&z) = 0 *)
+  let z = Aig.var aig 2 in
+  let other = Aig.and_ aig (Aig.not_ x) z in
+  check int "two-sided contradiction" Aig.false_ (Aig.and_ aig xy other)
+
+let test_and_or_lists () =
+  let aig = Aig.create () in
+  let xs = List.init 4 (Aig.var aig) in
+  let conj = Aig.and_list aig xs in
+  check bool "and_list all ones" true (eval_mask aig conj 0b1111);
+  check bool "and_list one zero" false (eval_mask aig conj 0b0111);
+  let disj = Aig.or_list aig xs in
+  check bool "or_list all zero" false (eval_mask aig disj 0b0000);
+  check bool "or_list one set" true (eval_mask aig disj 0b0100);
+  check int "empty and_list" Aig.true_ (Aig.and_list aig []);
+  check int "empty or_list" Aig.false_ (Aig.or_list aig [])
+
+(* ---------- structure ---------- *)
+
+let test_vars () =
+  let aig = Aig.create () in
+  let v0 = Aig.fresh_var aig in
+  let v1 = Aig.fresh_var aig in
+  check int "var indices dense" 0 v0;
+  check int "second var" 1 v1;
+  check int "num_vars" 2 (Aig.num_vars aig);
+  let x = Aig.var aig 0 in
+  check (Alcotest.option int) "var_of_lit positive" (Some 0) (Aig.var_of_lit aig x);
+  check (Alcotest.option int) "var_of_lit negative" (Some 0) (Aig.var_of_lit aig (Aig.not_ x));
+  check (Alcotest.option int) "var_of_lit on const" None (Aig.var_of_lit aig Aig.false_);
+  (* var auto-allocates intermediate variables *)
+  let aig2 = Aig.create () in
+  let _ = Aig.var aig2 3 in
+  check int "auto-allocated up to index" 4 (Aig.num_vars aig2)
+
+let test_cone_topological () =
+  let aig = Aig.create () in
+  let x = Aig.var aig 0 and y = Aig.var aig 1 and z = Aig.var aig 2 in
+  let w = Aig.var aig 3 in
+  let a = Aig.and_ aig x y in
+  let b = Aig.and_ aig a z in
+  let c = Aig.and_ aig b w in
+  let nodes = Aig.cone aig [ c ] in
+  check int "three AND nodes" 3 (List.length nodes);
+  (* fanins precede users *)
+  let pos n = Option.get (List.find_index (fun m -> m = n) nodes) in
+  check bool "a before b" true (pos (Aig.node_of_lit a) < pos (Aig.node_of_lit b));
+  check bool "b before c" true (pos (Aig.node_of_lit b) < pos (Aig.node_of_lit c))
+
+let test_size_and_support () =
+  let aig = Aig.create () in
+  let x = Aig.var aig 0 and y = Aig.var aig 1 in
+  let f = Aig.xor_ aig x y in
+  check bool "xor size is small" true (Aig.size aig f <= 3);
+  check (Alcotest.list int) "support" [ 0; 1 ] (Aig.support aig f);
+  check bool "depends_on x" true (Aig.depends_on aig f 0);
+  check bool "not depends_on z" false (Aig.depends_on aig f 5);
+  check int "const size" 0 (Aig.size aig Aig.true_);
+  check (Alcotest.list int) "const support" [] (Aig.support aig Aig.false_)
+
+let test_levels () =
+  let aig = Aig.create () in
+  let x = Aig.var aig 0 and y = Aig.var aig 1 in
+  check int "leaf level" 0 (Aig.level aig (Aig.node_of_lit x));
+  let a = Aig.and_ aig x y in
+  check int "and level" 1 (Aig.level aig (Aig.node_of_lit a));
+  let z = Aig.var aig 2 in
+  let b = Aig.and_ aig a z in
+  check int "nested level" 2 (Aig.level aig (Aig.node_of_lit b))
+
+let test_fanins () =
+  let aig = Aig.create () in
+  let x = Aig.var aig 0 and y = Aig.var aig 1 in
+  let a = Aig.and_ aig x y in
+  let f0, f1 = Aig.fanins aig (Aig.node_of_lit a) in
+  check bool "fanins are the operands" true
+    ((f0 = x && f1 = y) || (f0 = y && f1 = x));
+  Alcotest.check_raises "fanins of leaf" (Invalid_argument "Aig.fanins: not an AND node")
+    (fun () -> ignore (Aig.fanins aig (Aig.node_of_lit x)))
+
+(* ---------- functional operations ---------- *)
+
+let test_cofactor_shannon () =
+  let aig = Aig.create () in
+  let x = Aig.var aig 0 and y = Aig.var aig 1 and z = Aig.var aig 2 in
+  let f = Aig.or_ aig (Aig.and_ aig x y) (Aig.and_ aig (Aig.not_ x) z) in
+  let f0 = Aig.cofactor aig f ~v:0 ~phase:false in
+  let f1 = Aig.cofactor aig f ~v:0 ~phase:true in
+  check bool "negative cofactor is z" true (semantically_equal aig 3 f0 z);
+  check bool "positive cofactor is y" true (semantically_equal aig 3 f1 y);
+  (* Shannon: f = (x & f1) | (~x & f0) *)
+  let shannon = Aig.or_ aig (Aig.and_ aig x f1) (Aig.and_ aig (Aig.not_ x) f0) in
+  check bool "shannon expansion" true (semantically_equal aig 3 f shannon);
+  check bool "cofactor removes the variable" false (Aig.depends_on aig f1 0)
+
+let test_compose () =
+  let aig = Aig.create () in
+  let x = Aig.var aig 0 and y = Aig.var aig 1 and z = Aig.var aig 2 in
+  let f = Aig.xor_ aig x y in
+  (* substitute y := y & z *)
+  let g = Aig.compose aig f ~subst:(fun v -> if v = 1 then Some (Aig.and_ aig y z) else None) in
+  let expected = Aig.xor_ aig x (Aig.and_ aig y z) in
+  check bool "compose semantics" true (semantically_equal aig 3 g expected);
+  (* identity substitution is a no-op *)
+  let h = Aig.compose aig f ~subst:(fun _ -> None) in
+  check int "identity compose" f h
+
+let test_rebuild () =
+  let aig = Aig.create () in
+  let x = Aig.var aig 0 and y = Aig.var aig 1 in
+  let z = Aig.var aig 2 in
+  let a = Aig.and_ aig x y in
+  (* the rewrite front-end folds (x&y)&~x to 0 on its own *)
+  check int "contradiction folded" Aig.false_ (Aig.and_ aig a (Aig.not_ x));
+  let c = Aig.and_ aig a z in
+  (* replace node a by x: c becomes x & z *)
+  let repl n = if n = Aig.node_of_lit a then x else Aig.lit_of_node n in
+  let c' = Aig.rebuild aig ~repl c in
+  check bool "rebuild applies substitution" true (semantically_equal aig 3 c' (Aig.and_ aig x z));
+  (* identity rebuild preserves the literal *)
+  check int "identity rebuild" c (Aig.rebuild aig ~repl:Aig.lit_of_node c)
+
+let test_rebuild_complemented_target () =
+  let aig = Aig.create () in
+  let x = Aig.var aig 0 and y = Aig.var aig 1 in
+  let a = Aig.and_ aig x y in
+  let f = Aig.or_ aig a (Aig.var aig 2) in
+  (* replace a by ~x (a complemented literal) *)
+  let repl n = if n = Aig.node_of_lit a then Aig.not_ x else Aig.lit_of_node n in
+  let f' = Aig.rebuild aig ~repl f in
+  let expected = Aig.or_ aig (Aig.not_ x) (Aig.var aig 2) in
+  check bool "complemented replacement" true (semantically_equal aig 3 f' expected)
+
+(* ---------- evaluation and simulation ---------- *)
+
+let test_simulate_matches_eval () =
+  let aig = Aig.create () in
+  let x = Aig.var aig 0 and y = Aig.var aig 1 and z = Aig.var aig 2 in
+  let f = Aig.ite aig x (Aig.xor_ aig y z) (Aig.and_ aig y z) in
+  (* pack all 8 assignments into one word: bit i of var v's word is the
+     value of v in assignment i *)
+  let words v =
+    let w = ref 0L in
+    for mask = 0 to 7 do
+      if (mask lsr v) land 1 = 1 then w := Int64.logor !w (Int64.shift_left 1L mask)
+    done;
+    !w
+  in
+  let word = Aig.simulate aig f words in
+  for mask = 0 to 7 do
+    let sim_bit = Int64.logand (Int64.shift_right_logical word mask) 1L = 1L in
+    check bool (Printf.sprintf "assignment %d" mask) (eval_mask aig f mask) sim_bit
+  done
+
+let test_simulate_cone_leaves () =
+  let aig = Aig.create () in
+  let x = Aig.var aig 0 in
+  (* literal that is just a leaf: simulate must still answer *)
+  check bool "leaf simulation" true (Int64.equal (Aig.simulate aig x (fun _ -> -1L)) (-1L));
+  check bool "complemented leaf" true
+    (Int64.equal (Aig.simulate aig (Aig.not_ x) (fun _ -> -1L)) 0L);
+  check bool "constant" true (Int64.equal (Aig.simulate aig Aig.true_ (fun _ -> 0L)) (-1L))
+
+(* ---------- qcheck: random expression semantics ---------- *)
+
+(* random expression tree over n variables, evaluated both as an AIG and
+   directly *)
+type expr = V of int | Not of expr | And of expr * expr | Or of expr * expr | Xor of expr * expr
+
+let expr_gen n =
+  QCheck.Gen.(
+    sized_size (int_bound 20) (fix (fun self s ->
+        if s <= 1 then map (fun v -> V v) (int_bound (n - 1))
+        else
+          frequency
+            [
+              (1, map (fun v -> V v) (int_bound (n - 1)));
+              (2, map (fun e -> Not e) (self (s - 1)));
+              (2, map2 (fun a b -> And (a, b)) (self (s / 2)) (self (s / 2)));
+              (2, map2 (fun a b -> Or (a, b)) (self (s / 2)) (self (s / 2)));
+              (1, map2 (fun a b -> Xor (a, b)) (self (s / 2)) (self (s / 2)));
+            ])))
+
+let rec build_aig aig = function
+  | V v -> Aig.var aig v
+  | Not e -> Aig.not_ (build_aig aig e)
+  | And (a, b) -> Aig.and_ aig (build_aig aig a) (build_aig aig b)
+  | Or (a, b) -> Aig.or_ aig (build_aig aig a) (build_aig aig b)
+  | Xor (a, b) -> Aig.xor_ aig (build_aig aig a) (build_aig aig b)
+
+let rec eval_expr env = function
+  | V v -> env v
+  | Not e -> not (eval_expr env e)
+  | And (a, b) -> eval_expr env a && eval_expr env b
+  | Or (a, b) -> eval_expr env a || eval_expr env b
+  | Xor (a, b) -> eval_expr env a <> eval_expr env b
+
+let nvars = 4
+
+let qc_expr = QCheck.make ~print:(fun _ -> "<expr>") (expr_gen nvars)
+
+let aig_matches_expr =
+  QCheck.Test.make ~name:"AIG agrees with direct evaluation" ~count:300 qc_expr (fun e ->
+      let aig = Aig.create () in
+      let l = build_aig aig e in
+      let rec go mask =
+        mask >= 1 lsl nvars
+        || eval_mask aig l mask = eval_expr (fun v -> (mask lsr v) land 1 = 1) e
+           && go (mask + 1)
+      in
+      go 0)
+
+let cofactor_is_shannon =
+  QCheck.Test.make ~name:"cofactor satisfies the Shannon identity" ~count:200 qc_expr (fun e ->
+      let aig = Aig.create () in
+      let l = build_aig aig e in
+      let x = Aig.var aig 0 in
+      let f0 = Aig.cofactor aig l ~v:0 ~phase:false in
+      let f1 = Aig.cofactor aig l ~v:0 ~phase:true in
+      let shannon = Aig.or_ aig (Aig.and_ aig x f1) (Aig.and_ aig (Aig.not_ x) f0) in
+      semantically_equal aig nvars l shannon
+      && (not (Aig.depends_on aig f0 0))
+      && not (Aig.depends_on aig f1 0))
+
+let rebuild_identity =
+  QCheck.Test.make ~name:"identity rebuild preserves semantics" ~count:200 qc_expr (fun e ->
+      let aig = Aig.create () in
+      let l = build_aig aig e in
+      let l' = Aig.rebuild aig ~repl:Aig.lit_of_node l in
+      semantically_equal aig nvars l l')
+
+let simulate_agrees =
+  QCheck.Test.make ~name:"64-bit simulation agrees with eval" ~count:200 qc_expr (fun e ->
+      let aig = Aig.create () in
+      let l = build_aig aig e in
+      let words v =
+        let w = ref 0L in
+        for mask = 0 to (1 lsl nvars) - 1 do
+          if (mask lsr v) land 1 = 1 then w := Int64.logor !w (Int64.shift_left 1L mask)
+        done;
+        !w
+      in
+      let word = Aig.simulate aig l words in
+      let rec go mask =
+        mask >= 1 lsl nvars
+        || Int64.logand (Int64.shift_right_logical word mask) 1L
+           = (if eval_mask aig l mask then 1L else 0L)
+           && go (mask + 1)
+      in
+      go 0)
+
+let support_is_sound =
+  QCheck.Test.make ~name:"variables outside the support never matter" ~count:100 qc_expr
+    (fun e ->
+      let aig = Aig.create () in
+      let l = build_aig aig e in
+      let support = Aig.support aig l in
+      let outside = List.filter (fun v -> not (List.mem v support)) [ 0; 1; 2; 3 ] in
+      List.for_all
+        (fun v ->
+          let f0 = Aig.cofactor aig l ~v ~phase:false in
+          let f1 = Aig.cofactor aig l ~v ~phase:true in
+          f0 = l && f1 = l)
+        outside)
+
+(* deep-cone stress: every traversal (cone, size, support, cofactor,
+   compose, rebuild, simulate, Tseitin encoding) must survive cones far
+   deeper than the call stack would allow for naive recursion *)
+let test_deep_chain_stress () =
+  let aig = Aig.create () in
+  let depth = 200_000 in
+  let x = Aig.var aig 0 and y = Aig.var aig 1 in
+  (* alternate the pattern so the rewrite rules cannot collapse the chain *)
+  let f = ref (Aig.var aig 2) in
+  for i = 0 to depth - 1 do
+    f := if i mod 2 = 0 then Aig.and_ aig !f x else Aig.not_ (Aig.and_ aig !f y)
+  done;
+  let f = !f in
+  check bool "chain is deep" true (Aig.size aig f > depth / 2);
+  check (Alcotest.list int) "support" [ 0; 1; 2 ] (Aig.support aig f);
+  (* identity rebuild over the whole chain (iterative path) *)
+  let f' = Aig.rebuild aig ~repl:Aig.lit_of_node f in
+  check int "identity rebuild" f f';
+  (* cofactor and simulate traverse the same depth *)
+  let f0 = Aig.cofactor aig f ~v:0 ~phase:true in
+  check bool "cofactor dropped x" false (Aig.depends_on aig f0 0);
+  let w = Aig.simulate aig f (fun _ -> -1L) in
+  check bool "simulation completes" true (Int64.equal w w);
+  check bool "eval completes" true (Aig.eval aig f (fun _ -> true) || true)
+
+let () =
+  Alcotest.run "aig"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "constants and trivial rules" `Quick test_constants;
+          Alcotest.test_case "or/xor/ite/iff/implies" `Quick test_or_xor_ite;
+          Alcotest.test_case "structural hashing" `Quick test_strash_sharing;
+          Alcotest.test_case "two-level rewrite rules" `Quick test_rewrite_rules;
+          Alcotest.test_case "and_list/or_list" `Quick test_and_or_lists;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "variables" `Quick test_vars;
+          Alcotest.test_case "cone is topological" `Quick test_cone_topological;
+          Alcotest.test_case "size and support" `Quick test_size_and_support;
+          Alcotest.test_case "levels" `Quick test_levels;
+          Alcotest.test_case "fanins" `Quick test_fanins;
+        ] );
+      ( "functional",
+        [
+          Alcotest.test_case "cofactor (Shannon)" `Quick test_cofactor_shannon;
+          Alcotest.test_case "compose" `Quick test_compose;
+          Alcotest.test_case "rebuild with substitution" `Quick test_rebuild;
+          Alcotest.test_case "rebuild with complemented target" `Quick
+            test_rebuild_complemented_target;
+        ] );
+      ( "simulation",
+        [
+          Alcotest.test_case "simulate matches eval" `Quick test_simulate_matches_eval;
+          Alcotest.test_case "leaf/constant simulation" `Quick test_simulate_cone_leaves;
+        ] );
+      ("stress", [ Alcotest.test_case "200k-deep chain" `Quick test_deep_chain_stress ]);
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest aig_matches_expr;
+          QCheck_alcotest.to_alcotest cofactor_is_shannon;
+          QCheck_alcotest.to_alcotest rebuild_identity;
+          QCheck_alcotest.to_alcotest simulate_agrees;
+          QCheck_alcotest.to_alcotest support_is_sound;
+        ] );
+    ]

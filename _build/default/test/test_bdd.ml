@@ -1,0 +1,274 @@
+(* ROBDD tests: operations against brute-force evaluation, quantification,
+   composition, canonicity, node quotas. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let eval_mask man n mask = Bdd.eval man n (fun v -> (mask lsr v) land 1 = 1)
+
+let semantically_equal man nvars a b =
+  let rec go mask =
+    mask >= 1 lsl nvars || (eval_mask man a mask = eval_mask man b mask && go (mask + 1))
+  in
+  go 0
+
+let test_terminals () =
+  let man = Bdd.create () in
+  check bool "zero is terminal" true (Bdd.is_terminal Bdd.zero);
+  check bool "one is terminal" true (Bdd.is_terminal Bdd.one);
+  check int "not zero" Bdd.one (Bdd.not_ man Bdd.zero);
+  check int "not one" Bdd.zero (Bdd.not_ man Bdd.one);
+  let x = Bdd.var_node man 0 in
+  check bool "var not terminal" false (Bdd.is_terminal x);
+  check int "topvar" 0 (Bdd.topvar man x);
+  check int "low" Bdd.zero (Bdd.low man x);
+  check int "high" Bdd.one (Bdd.high man x)
+
+let test_basic_ops () =
+  let man = Bdd.create () in
+  let x = Bdd.var_node man 0 and y = Bdd.var_node man 1 in
+  let conj = Bdd.and_ man x y in
+  check bool "and 11" true (eval_mask man conj 0b11);
+  check bool "and 01" false (eval_mask man conj 0b01);
+  let disj = Bdd.or_ man x y in
+  check bool "or 00" false (eval_mask man disj 0b00);
+  check bool "or 10" true (eval_mask man disj 0b10);
+  let xor = Bdd.xor_ man x y in
+  check bool "xor 11" false (eval_mask man xor 0b11);
+  check bool "xor 10" true (eval_mask man xor 0b10);
+  check bool "iff = not xor" true
+    (semantically_equal man 2 (Bdd.iff_ man x y) (Bdd.not_ man xor));
+  check bool "implies" true
+    (semantically_equal man 2 (Bdd.implies man x y) (Bdd.or_ man (Bdd.not_ man x) y))
+
+let test_canonicity () =
+  let man = Bdd.create () in
+  let x = Bdd.var_node man 0 and y = Bdd.var_node man 1 and z = Bdd.var_node man 2 in
+  let a = Bdd.or_ man (Bdd.and_ man x y) (Bdd.and_ man x z) in
+  let b = Bdd.and_ man x (Bdd.or_ man y z) in
+  check int "distribution law canonical" a b;
+  let c = Bdd.not_ man (Bdd.not_ man a) in
+  check int "double negation canonical" a c;
+  check int "x & x" x (Bdd.and_ man x x);
+  check int "x ^ x" Bdd.zero (Bdd.xor_ man x x)
+
+let test_ite () =
+  let man = Bdd.create () in
+  let c = Bdd.var_node man 0 and g = Bdd.var_node man 1 and h = Bdd.var_node man 2 in
+  let f = Bdd.ite man c g h in
+  for mask = 0 to 7 do
+    let cv = mask land 1 = 1 and gv = (mask lsr 1) land 1 = 1 and hv = (mask lsr 2) land 1 = 1 in
+    check bool (Printf.sprintf "ite %d" mask) (if cv then gv else hv) (eval_mask man f mask)
+  done
+
+let test_exists_forall () =
+  let man = Bdd.create () in
+  let x = Bdd.var_node man 0 and y = Bdd.var_node man 1 in
+  let f = Bdd.and_ man x y in
+  let ex = Bdd.exists man (fun v -> v = 0) f in
+  check bool "exists x. x&y = y" true (semantically_equal man 2 ex y);
+  let fa = Bdd.forall man (fun v -> v = 0) f in
+  check int "forall x. x&y = 0" Bdd.zero fa;
+  let g = Bdd.or_ man x y in
+  check bool "forall x. x|y = y" true
+    (semantically_equal man 2 (Bdd.forall man (fun v -> v = 0) g) y);
+  check int "exists on absent var" f (Bdd.exists man (fun v -> v = 7) f)
+
+let test_restrict () =
+  let man = Bdd.create () in
+  let x = Bdd.var_node man 0 and y = Bdd.var_node man 1 in
+  let f = Bdd.xor_ man x y in
+  check bool "restrict x=1" true
+    (semantically_equal man 2 (Bdd.restrict man f ~v:0 ~phase:true) (Bdd.not_ man y));
+  check bool "restrict x=0" true
+    (semantically_equal man 2 (Bdd.restrict man f ~v:0 ~phase:false) y)
+
+let test_compose () =
+  let man = Bdd.create () in
+  let x = Bdd.var_node man 0 and y = Bdd.var_node man 1 and z = Bdd.var_node man 2 in
+  let f = Bdd.xor_ man x y in
+  let g = Bdd.compose man f ~subst:(fun v -> if v = 1 then Some (Bdd.and_ man y z) else None) in
+  let expected = Bdd.xor_ man x (Bdd.and_ man y z) in
+  check int "compose (canonical)" expected g;
+  let h = Bdd.compose man (Bdd.and_ man y z) ~subst:(fun v -> if v = 2 then Some x else None) in
+  check int "compose downward" (Bdd.and_ man y x) h
+
+let test_support_size () =
+  let man = Bdd.create () in
+  let x = Bdd.var_node man 0 and z = Bdd.var_node man 2 in
+  let f = Bdd.and_ man x z in
+  check (Alcotest.list int) "support" [ 0; 2 ] (Bdd.support man f);
+  check int "size of x&z" 2 (Bdd.size man f);
+  check int "terminal size" 0 (Bdd.size man Bdd.one)
+
+let test_sat_count () =
+  let man = Bdd.create () in
+  let x = Bdd.var_node man 0 and y = Bdd.var_node man 1 in
+  check (Alcotest.float 0.001) "satcount x&y over 2 vars" 1.0
+    (Bdd.sat_count man (Bdd.and_ man x y) ~nvars:2);
+  check (Alcotest.float 0.001) "satcount x|y over 2 vars" 3.0
+    (Bdd.sat_count man (Bdd.or_ man x y) ~nvars:2);
+  check (Alcotest.float 0.001) "satcount x over 3 vars" 4.0 (Bdd.sat_count man x ~nvars:3);
+  check (Alcotest.float 0.001) "satcount one" 8.0 (Bdd.sat_count man Bdd.one ~nvars:3)
+
+let test_any_sat () =
+  let man = Bdd.create () in
+  let x = Bdd.var_node man 0 and y = Bdd.var_node man 1 in
+  let f = Bdd.and_ man x (Bdd.not_ man y) in
+  (match Bdd.any_sat man f with
+  | None -> Alcotest.fail "expected a witness"
+  | Some assignment ->
+    let env v = try List.assoc v assignment with Not_found -> false in
+    check bool "witness satisfies" true (Bdd.eval man f env));
+  check bool "zero has no witness" true (Bdd.any_sat man Bdd.zero = None);
+  check bool "one has the empty witness" true (Bdd.any_sat man Bdd.one = Some [])
+
+let test_node_limit () =
+  let man = Bdd.create () in
+  let result =
+    Bdd.with_limit man ~max_nodes:10 (fun () ->
+        let f = ref Bdd.zero in
+        for v = 0 to 15 do
+          f := Bdd.xor_ man !f (Bdd.var_node man v)
+        done;
+        !f)
+  in
+  check bool "limit hit" true (result = Error `Node_limit);
+  (* manager still usable and the quota lifted *)
+  let x = Bdd.var_node man 20 and y = Bdd.var_node man 21 in
+  let f = Bdd.and_ man x y in
+  check bool "usable after limit" true (eval_mask man f (3 lsl 20))
+
+let test_with_limit_success () =
+  let man = Bdd.create () in
+  let result =
+    Bdd.with_limit man ~max_nodes:1_000 (fun () ->
+        Bdd.and_ man (Bdd.var_node man 0) (Bdd.var_node man 1))
+  in
+  check bool "within quota" true (match result with Ok _ -> true | Error `Node_limit -> false)
+
+let test_parity_linear () =
+  let man = Bdd.create () in
+  let n = 20 in
+  let f = ref Bdd.zero in
+  for v = 0 to n - 1 do
+    f := Bdd.xor_ man !f (Bdd.var_node man v)
+  done;
+  check bool "parity BDD is linear" true (Bdd.size man !f <= 2 * n)
+
+(* qcheck: random expressions vs direct evaluation *)
+type expr = V of int | Not of expr | And of expr * expr | Or of expr * expr | Xor of expr * expr
+
+let expr_gen n =
+  QCheck.Gen.(
+    sized_size (int_bound 16) (fix (fun self s ->
+        if s <= 1 then map (fun v -> V v) (int_bound (n - 1))
+        else
+          frequency
+            [
+              (1, map (fun v -> V v) (int_bound (n - 1)));
+              (2, map (fun e -> Not e) (self (s - 1)));
+              (2, map2 (fun a b -> And (a, b)) (self (s / 2)) (self (s / 2)));
+              (2, map2 (fun a b -> Or (a, b)) (self (s / 2)) (self (s / 2)));
+              (1, map2 (fun a b -> Xor (a, b)) (self (s / 2)) (self (s / 2)));
+            ])))
+
+let rec build man = function
+  | V v -> Bdd.var_node man v
+  | Not e -> Bdd.not_ man (build man e)
+  | And (a, b) -> Bdd.and_ man (build man a) (build man b)
+  | Or (a, b) -> Bdd.or_ man (build man a) (build man b)
+  | Xor (a, b) -> Bdd.xor_ man (build man a) (build man b)
+
+let rec eval_expr env = function
+  | V v -> env v
+  | Not e -> not (eval_expr env e)
+  | And (a, b) -> eval_expr env a && eval_expr env b
+  | Or (a, b) -> eval_expr env a || eval_expr env b
+  | Xor (a, b) -> eval_expr env a <> eval_expr env b
+
+let nvars = 4
+let qc_expr = QCheck.make ~print:(fun _ -> "<expr>") (expr_gen nvars)
+
+let bdd_matches_expr =
+  QCheck.Test.make ~name:"BDD agrees with direct evaluation" ~count:300 qc_expr (fun e ->
+      let man = Bdd.create () in
+      let b = build man e in
+      let rec go mask =
+        mask >= 1 lsl nvars
+        || eval_mask man b mask = eval_expr (fun v -> (mask lsr v) land 1 = 1) e
+           && go (mask + 1)
+      in
+      go 0)
+
+let bdd_canonical =
+  QCheck.Test.make ~name:"semantically equal expressions share the node" ~count:200
+    (QCheck.pair qc_expr qc_expr) (fun (e1, e2) ->
+      let man = Bdd.create () in
+      let b1 = build man e1 and b2 = build man e2 in
+      semantically_equal man nvars b1 b2 = (b1 = b2))
+
+let exists_set_equals_nested =
+  QCheck.Test.make ~name:"multi-variable exists = nested single exists" ~count:150 qc_expr
+    (fun e ->
+      let man = Bdd.create () in
+      let b = build man e in
+      let joint = Bdd.exists man (fun v -> v = 0 || v = 2) b in
+      let nested = Bdd.exists man (fun v -> v = 0) (Bdd.exists man (fun v -> v = 2) b) in
+      joint = nested)
+
+let quantifier_duality =
+  QCheck.Test.make ~name:"forall = not exists not" ~count:150 qc_expr (fun e ->
+      let man = Bdd.create () in
+      let b = build man e in
+      Bdd.forall man (fun v -> v = 1) b
+      = Bdd.not_ man (Bdd.exists man (fun v -> v = 1) (Bdd.not_ man b)))
+
+let exists_or_of_cofactors =
+  QCheck.Test.make ~name:"exists v = restrict0 | restrict1" ~count:200 qc_expr (fun e ->
+      let man = Bdd.create () in
+      let b = build man e in
+      let ex = Bdd.exists man (fun v -> v = 0) b in
+      let expected =
+        Bdd.or_ man (Bdd.restrict man b ~v:0 ~phase:false) (Bdd.restrict man b ~v:0 ~phase:true)
+      in
+      ex = expected)
+
+let () =
+  Alcotest.run "bdd"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "terminals" `Quick test_terminals;
+          Alcotest.test_case "and/or/xor/iff/implies" `Quick test_basic_ops;
+          Alcotest.test_case "canonicity" `Quick test_canonicity;
+          Alcotest.test_case "ite truth table" `Quick test_ite;
+        ] );
+      ( "quantification",
+        [
+          Alcotest.test_case "exists/forall" `Quick test_exists_forall;
+          Alcotest.test_case "restrict" `Quick test_restrict;
+          Alcotest.test_case "compose" `Quick test_compose;
+        ] );
+      ( "queries",
+        [
+          Alcotest.test_case "support and size" `Quick test_support_size;
+          Alcotest.test_case "sat_count" `Quick test_sat_count;
+          Alcotest.test_case "any_sat" `Quick test_any_sat;
+        ] );
+      ( "limits",
+        [
+          Alcotest.test_case "node limit aborts" `Quick test_node_limit;
+          Alcotest.test_case "with_limit success path" `Quick test_with_limit_success;
+          Alcotest.test_case "parity stays linear" `Quick test_parity_linear;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest bdd_matches_expr;
+          QCheck_alcotest.to_alcotest bdd_canonical;
+          QCheck_alcotest.to_alcotest exists_or_of_cofactors;
+          QCheck_alcotest.to_alcotest exists_set_equals_nested;
+          QCheck_alcotest.to_alcotest quantifier_duality;
+        ] );
+    ]
