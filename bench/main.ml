@@ -15,11 +15,14 @@
      dune exec bench/main.exe -- --quick -- smaller parameters
      dune exec bench/main.exe -- T1 F2   -- selected experiments only
      dune exec bench/main.exe -- --no-micro
+     dune exec bench/main.exe -- --stats-dir=reports T4
+                                         -- one JSON run report per row
 *)
 
 let quick = ref false
 let run_micro = ref true
 let selected : string list ref = ref []
+let stats_dir : string option ref = ref None
 
 let () =
   Array.iteri
@@ -29,6 +32,8 @@ let () =
         | "--quick" -> quick := true
         | "--no-micro" -> run_micro := false
         | "--micro" -> run_micro := true
+        | s when String.length s > 12 && String.sub s 0 12 = "--stats-dir=" ->
+          stats_dir := Some (String.sub s 12 (String.length s - 12))
         | s -> selected := String.uppercase_ascii s :: !selected)
     Sys.argv
 
@@ -38,6 +43,34 @@ let header id title =
   Format.printf "@.=== %s: %s ===@." id title
 
 let line fmt = Format.printf fmt
+
+(* With --stats-dir, each experiment row runs under a fresh telemetry
+   window and leaves one JSON run report, numbered in emission order
+   (schema: docs/OBSERVABILITY.md). Without it, [f] runs untouched —
+   collection stays disabled and the tables time the uninstrumented
+   fast path. *)
+let report_seq = ref 0
+
+let with_report label f =
+  match !stats_dir with
+  | None -> f ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    Obs.reset ();
+    Obs.set_enabled true;
+    let result = f () in
+    Obs.set_enabled false;
+    Obs.meta "tool" "bench";
+    Obs.meta "experiment" label;
+    incr report_seq;
+    let sanitized =
+      String.map
+        (function ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_') as c -> c | _ -> '-')
+        label
+    in
+    let path = Filename.concat dir (Printf.sprintf "%03d-%s.json" !report_seq sanitized) in
+    Obs.write_report path;
+    result
 
 (* ---------------------------------------------------------------- *)
 (* shared machinery                                                  *)
@@ -148,6 +181,7 @@ let t1 () =
     "bdd(res)";
   List.iter
     (fun (cone : Circuits.Comb.cone) ->
+      with_report ("t1-" ^ cone.Circuits.Comb.name) @@ fun () ->
       let aig = cone.Circuits.Comb.aig in
       let base_size = Aig.size aig cone.Circuits.Comb.root in
       let nv = List.length cone.Circuits.Comb.vars in
@@ -192,6 +226,7 @@ let t2 () =
     "total" "time(s)";
   List.iter
     (fun (cone : Circuits.Comb.cone) ->
+      with_report ("t2-" ^ cone.Circuits.Comb.name) @@ fun () ->
       let aig, f0, f1 = cofactor_pair cone in
       let stages =
         [
@@ -213,6 +248,7 @@ let t2 () =
   line "%-10s %-8s %9s %9s %9s@." "cone" "mode" "sat-calls" "conflicts" "time(s)";
   List.iter
     (fun (cone : Circuits.Comb.cone) ->
+      with_report ("t2-db-" ^ cone.Circuits.Comb.name) @@ fun () ->
       let aig, f0, f1 = cofactor_pair cone in
       (* shared: the normal sweeper *)
       let checker = Cnf.Checker.create aig in
@@ -311,6 +347,7 @@ let t3 () =
     "refuted" "time(s)";
   List.iter
     (fun (name, aig, f0, f1) ->
+      with_report ("t3-" ^ name) @@ fun () ->
       List.iter
         (fun direction ->
           let checker = Cnf.Checker.create aig in
@@ -407,6 +444,7 @@ let t4 () =
     (fun (name, param) ->
       let model, _ = Circuits.Registry.build name param in
       let model_name = Netlist.Model.name model in
+      with_report ("t4-" ^ model_name) @@ fun () ->
       List.iter
         (fun r ->
           line "%-16s %-10s %-16s %6d %9d %9.4f@." model_name r.engine r.verdict r.iters r.peak
@@ -428,6 +466,7 @@ let t5 () =
   List.iter
     (fun (name, param) ->
       let model, _ = Circuits.Registry.build name param in
+      with_report ("t5-budget-" ^ Netlist.Model.name model) @@ fun () ->
       let aig = Netlist.Model.aig model in
       let bad = Aig.not_ model.Netlist.Model.property in
       List.iter
@@ -456,26 +495,28 @@ let t5 () =
   (* quantify half the inputs so the result stays a non-trivial function
      and per-variable aborts are visible *)
   let half = List.filteri (fun i _ -> i mod 2 = 0) cone.Circuits.Comb.vars in
-  List.iter
-    (fun (limit, label) ->
-      let aig = cone.Circuits.Comb.aig in
-      let checker = Cnf.Checker.create aig in
-      let prng = Util.Prng.create 41 in
-      let config = { Cbq.Quantify.default with growth_limit = limit; growth_slack = 0 } in
-      let r =
-        Cbq.Quantify.all ~config aig checker ~prng cone.Circuits.Comb.root ~vars:half
-      in
-      line "%-12s %10s %10d %8d %9d@." cone.Circuits.Comb.name label
-        (List.length r.Cbq.Quantify.eliminated)
-        (List.length r.Cbq.Quantify.kept)
-        (Aig.size aig r.Cbq.Quantify.lit))
-    budgets_comb;
+  with_report "t5-comb-budget" (fun () ->
+      List.iter
+        (fun (limit, label) ->
+          let aig = cone.Circuits.Comb.aig in
+          let checker = Cnf.Checker.create aig in
+          let prng = Util.Prng.create 41 in
+          let config = { Cbq.Quantify.default with growth_limit = limit; growth_slack = 0 } in
+          let r =
+            Cbq.Quantify.all ~config aig checker ~prng cone.Circuits.Comb.root ~vars:half
+          in
+          line "%-12s %10s %10d %8d %9d@." cone.Circuits.Comb.name label
+            (List.length r.Cbq.Quantify.eliminated)
+            (List.length r.Cbq.Quantify.kept)
+            (Aig.size aig r.Cbq.Quantify.lit))
+        budgets_comb);
   (* BMC with structural input elimination in front of each SAT call *)
   line "@.BMC with CBQ preprocessing (paper section 4):@.";
   line "%-16s %-8s %10s %10s %12s@." "model" "mode" "decisions" "conflicts" "eliminated";
   List.iter
     (fun (name, param) ->
       let m1, _ = Circuits.Registry.build name param in
+      with_report ("t5-bmc-" ^ Netlist.Model.name m1) @@ fun () ->
       let r1 = Baselines.Bmc.run ~max_depth:40 m1 in
       line "%-16s %-8s %10d %10d %12d@." (Netlist.Model.name m1) "plain"
         r1.Baselines.Bmc.solver.Sat.Solver.decisions
@@ -493,6 +534,7 @@ let t5 () =
   List.iter
     (fun (name, param) ->
       let model, _ = Circuits.Registry.build name param in
+      with_report ("t5-enum-" ^ Netlist.Model.name model) @@ fun () ->
       (let r = Baselines.Cofactor_preimage.run ~max_enumerations:100_000 model in
        line "%-12s %-22s %14d@." (Netlist.Model.name model) "pure enumeration"
          r.Baselines.Cofactor_preimage.total_enumerations);
@@ -521,6 +563,7 @@ let t6 () =
   in
   List.iter
     (fun (cone : Circuits.Comb.cone) ->
+      with_report ("t6-" ^ cone.Circuits.Comb.name) @@ fun () ->
       let aig, f0, f1 = cofactor_pair cone in
       (* pre-merge with the sweeper so T6 isolates the optimization phase *)
       let checker = Cnf.Checker.create aig in
@@ -553,6 +596,7 @@ let f1 () =
   let sizes = if !quick then [ 2; 4; 6 ] else [ 2; 4; 6; 8; 10; 12 ] in
   List.iter
     (fun n ->
+      with_report (Printf.sprintf "f1-arbiter%d" n) @@ fun () ->
       let m1 = Circuits.Families.rr_arbiter ~n in
       let r1 = Cbq.Reachability.run ~config:{ Cbq.Reachability.default with make_trace = false } m1 in
       let m2 = Circuits.Families.rr_arbiter ~n in
@@ -565,6 +609,7 @@ let f1 () =
   (* per-iteration series on one instance *)
   let n = if !quick then 4 else 8 in
   line "@.per-iteration sizes, arbiter %d (iteration: aig-frontier bdd-frontier):@." n;
+  with_report (Printf.sprintf "f1-profile-arbiter%d" n) @@ fun () ->
   let m1 = Circuits.Families.rr_arbiter ~n in
   let r1 = Cbq.Reachability.run ~config:{ Cbq.Reachability.default with make_trace = false } m1 in
   let m2 = Circuits.Families.rr_arbiter ~n in
@@ -591,6 +636,7 @@ let f2 () =
   line "%-10s %s@." "config" (String.concat " " (List.init n (fun i -> Printf.sprintf "k=%-5d" (i + 1))));
   List.iter
     (fun { level_name; config } ->
+      with_report ("f2-" ^ level_name) @@ fun () ->
       let sizes =
         List.init n (fun i ->
             let s, _, _ = quantify_with config cone (i + 1) in
@@ -621,6 +667,7 @@ let t7 () =
   List.iter
     (fun (name, param) ->
       let m1, _ = Circuits.Registry.build name param in
+      with_report ("t7-" ^ Netlist.Model.name m1) @@ fun () ->
       let cfg = { Cbq.Reachability.default with make_trace = false } in
       let r1, dt1 = Util.Stopwatch.time (fun () -> Cbq.Forward.run ~config:cfg m1) in
       let v1 =
@@ -651,6 +698,7 @@ let t8 () =
   let sizes = if !quick then [ 4; 8 ] else [ 4; 8; 16; 24; 32 ] in
   List.iter
     (fun n ->
+      with_report (Printf.sprintf "t8-adder%d" n) @@ fun () ->
       let ripple = Circuits.Comb.adder_carry n in
       let cla = Circuits.Comb.carry_lookahead n in
       let r =
@@ -687,6 +735,7 @@ let a1 () =
   in
   List.iter
     (fun (name, param) ->
+      with_report ("a1-" ^ name) @@ fun () ->
       List.iter
         (fun (label, config) ->
           let m, _ = Circuits.Registry.build name param in
@@ -713,6 +762,7 @@ let a2 () =
   List.iter
     (fun (name, param) ->
       let m1, _ = Circuits.Registry.build name param in
+      with_report ("a2-" ^ Netlist.Model.name m1) @@ fun () ->
       let cfg = { Cbq.Reachability.default with make_trace = false } in
       let _, plain_dt = Util.Stopwatch.time (fun () -> Cbq.Reachability.run ~config:cfg m1) in
       let m2, _ = Circuits.Registry.build name param in
@@ -735,6 +785,7 @@ let b1 () =
   let cones = if !quick then [ Circuits.Comb.multiplier_bit 4 ] else t1_cones () in
   List.iter
     (fun (cone : Circuits.Comb.cone) ->
+      with_report ("b1-" ^ cone.Circuits.Comb.name) @@ fun () ->
       let aig = cone.Circuits.Comb.aig in
       List.iter
         (fun k ->

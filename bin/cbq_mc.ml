@@ -176,9 +176,45 @@ let minimize_arg =
     & info [ "minimize" ]
         ~doc:"with --trace: also print the essential inputs (ternary-simulation minimization)")
 
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ] ~doc:"collect telemetry and print a human-readable summary after the run")
+
+let stats_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats-json" ] ~docv:"FILE"
+        ~doc:"collect telemetry and write the JSON run report to $(docv) (schema: docs/OBSERVABILITY.md)")
+
+let engine_name engine = fst (List.find (fun (_, e) -> e = engine) engine_names)
+
+let emit_stats ~stats ~stats_json ~model ~engine ~watch outcome =
+  Obs.meta "tool" "cbq-mc";
+  Obs.meta "model" (Netlist.Model.name model);
+  Obs.meta "engine" (engine_name engine);
+  Obs.meta "verdict"
+    (match outcome with
+    | `Proved -> "proved"
+    | `Falsified d -> Printf.sprintf "falsified:%d" d
+    | `Undecided -> "undecided");
+  Obs.meta "seconds" (Printf.sprintf "%.6f" (Util.Stopwatch.elapsed watch));
+  if stats then Format.printf "%a" Obs.pp_summary ();
+  match stats_json with
+  | Some path ->
+    Obs.write_report path;
+    Format.printf "stats: wrote %s@." path
+  | None -> ()
+
 let run_cmd =
   let doc = "verify a circuit's safety property" in
-  let run circuit param aag engine verbose trace seq_sweep coi minimize =
+  let run circuit param aag engine verbose trace seq_sweep coi minimize stats stats_json =
+    if stats || stats_json <> None then begin
+      Obs.reset ();
+      Obs.set_enabled true
+    end;
+    let watch = Util.Stopwatch.start () in
     let model, status = load_model circuit param aag in
     Format.printf "model %s: %a@." (Netlist.Model.name model) Netlist.Model.pp_stats
       (Netlist.Model.stats model);
@@ -199,6 +235,8 @@ let run_cmd =
       else model
     in
     let outcome = run_engine ~minimize engine model verbose trace in
+    if stats || stats_json <> None then
+      emit_stats ~stats ~stats_json ~model ~engine ~watch outcome;
     match status with
     | None -> if outcome = `Undecided then exit 2 else exit 0
     | Some expected ->
@@ -214,10 +252,13 @@ let run_cmd =
         exit 1
       end
   in
-  Cmd.v (Cmd.info "run" ~doc)
+  ( Cmd.info "run" ~doc,
     Term.(
       const run $ circuit_arg $ param_arg $ aag_arg $ engine_arg $ verbose_arg $ trace_arg
-      $ seq_sweep_arg $ coi_arg $ minimize_arg)
+      $ seq_sweep_arg $ coi_arg $ minimize_arg $ stats_arg $ stats_json_arg) )
+
+let run_term = snd run_cmd
+let run_cmd = Cmd.v (fst run_cmd) run_term
 
 (* ---------- export ---------- *)
 
@@ -358,4 +399,8 @@ let sat_cmd =
 let () =
   let doc = "circuit-based quantification model checker (DATE'05 reproduction)" in
   let info = Cmd.info "cbq-mc" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; export_cmd; reduce_cmd; quantify_cmd; cec_cmd; sat_cmd ]))
+  (* bare `cbq-mc --engine ... --stats-json ...` behaves like `cbq-mc run` *)
+  exit
+    (Cmd.eval
+       (Cmd.group ~default:run_term info
+          [ list_cmd; run_cmd; export_cmd; reduce_cmd; quantify_cmd; cec_cmd; sat_cmd ]))

@@ -1,6 +1,12 @@
 type lit = int
 type var = int
 
+(* Telemetry (see docs/OBSERVABILITY.md). These sit on the construction
+   hot path; the disabled-path cost is one boolean load per event. *)
+let obs_strash_hits = Obs.counter "aig.strash_hits"
+let obs_rewrites = Obs.counter "aig.rewrites"
+let obs_and_nodes = Obs.counter "aig.and_nodes"
+
 (* Node encoding in the two fanin arrays:
    - node 0: the constant, [fanin0 = -2].
    - variable leaf: [fanin0 = -1], [fanin1 = variable index].
@@ -102,6 +108,7 @@ let new_and_node t l0 l1 =
   Util.Vec_int.push t.levels lv;
   Hashtbl.replace t.strash (l0, l1) n;
   t.ands <- t.ands + 1;
+  Obs.incr obs_and_nodes;
   lit_of_node n
 
 (* AND construction: trivial rules, two-level rewrite rules (the paper's
@@ -118,12 +125,14 @@ let rec and_ t a b =
     match rewrite t a b with
     | Some r ->
       t.rewrites <- t.rewrites + 1;
+      Obs.incr obs_rewrites;
       r
     | None ->
       let l0, l1 = if a <= b then (a, b) else (b, a) in
       (match Hashtbl.find_opt t.strash (l0, l1) with
       | Some n ->
         t.strash_hits <- t.strash_hits + 1;
+        Obs.incr obs_strash_hits;
         lit_of_node n
       | None -> new_and_node t l0 l1)
   end

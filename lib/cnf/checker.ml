@@ -1,5 +1,9 @@
 type answer = Yes | No | Maybe
 
+let obs_queries = Obs.counter "cnf.queries"
+let obs_cutoffs = Obs.counter "cnf.budget_cutoffs"
+let obs_const_shortcuts = Obs.counter "cnf.const_shortcuts"
+
 type t = {
   ts : Tseitin.t;
   mutable conflict_limit : int option;
@@ -14,8 +18,12 @@ let set_conflict_limit t n = t.conflict_limit <- n
 
 let satisfiable t lits =
   t.queries <- t.queries + 1;
+  Obs.incr obs_queries;
   (* constant short-cuts avoid touching the solver *)
-  if List.exists (fun l -> l = Aig.false_) lits then No
+  if List.exists (fun l -> l = Aig.false_) lits then begin
+    Obs.incr obs_const_shortcuts;
+    No
+  end
   else begin
     let assumptions = List.map (Tseitin.sat_lit t.ts) lits in
     let result =
@@ -28,6 +36,7 @@ let satisfiable t lits =
     | Sat.Solver.Unsat -> No
     | Sat.Solver.Unknown ->
       t.cutoffs <- t.cutoffs + 1;
+      Obs.incr obs_cutoffs;
       Maybe
   end
 

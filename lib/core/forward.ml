@@ -2,6 +2,16 @@ let exact_answer checker lits =
   Cnf.Checker.set_conflict_limit checker None;
   Cnf.Checker.satisfiable checker lits
 
+(* Same metric names as [Reachability] — the registry resolves them to
+   the same global accumulators, so either traversal direction fills the
+   per-frame section of the run report. *)
+let obs_iterations = Obs.counter "reach.iterations"
+let obs_iter_span = Obs.span "reach.iteration"
+let obs_frontier_size = Obs.histogram "reach.frontier_size"
+let obs_reached_size = Obs.histogram "reach.reached_size"
+let obs_eliminated = Obs.counter "reach.eliminated_inputs"
+let obs_kept = Obs.counter "reach.kept_inputs"
+
 let sum_naive reports =
   List.fold_left (fun acc r -> acc + r.Quantify.size_naive) 0 reports
 
@@ -127,7 +137,7 @@ let run ?(config = Reachability.default) model =
         let fsize = Aig.size aig img in
         if fsize > !peak then peak := fsize;
         let reached' = Aig.or_ aig !reached img in
-        iterations :=
+        let it =
           {
             Reachability.index = k;
             frontier_size = fsize;
@@ -137,7 +147,14 @@ let run ?(config = Reachability.default) model =
             naive_size = sum_naive q.Quantify.reports;
             seconds = Util.Stopwatch.elapsed step_watch;
           }
-          :: !iterations;
+        in
+        Obs.incr obs_iterations;
+        Obs.add_seconds obs_iter_span it.Reachability.seconds;
+        Obs.observe obs_frontier_size it.Reachability.frontier_size;
+        Obs.observe obs_reached_size it.Reachability.reached_size;
+        Obs.add obs_eliminated it.Reachability.eliminated_inputs;
+        Obs.add obs_kept it.Reachability.kept_inputs;
+        iterations := it :: !iterations;
         if exact_answer checker [ img; bad ] = Cnf.Checker.Yes then finish (falsified k)
         else if exact_answer checker [ img; Aig.not_ !reached ] = Cnf.Checker.No then begin
           (* forward certificate: the reached set itself is inductive,

@@ -9,7 +9,11 @@ type result = {
 let substitute m b =
   Aig.compose (Netlist.Model.aig m) b ~subst:(Netlist.Model.next_subst m)
 
+let obs_span = Obs.span "preimage.compute"
+let obs_substituted_size = Obs.histogram "preimage.substituted_size"
+
 let compute ?config m checker ~prng ~frontier ~extra_vars =
+  Obs.with_span obs_span @@ fun () ->
   let aig = Netlist.Model.aig m in
   let inlined = substitute m frontier in
   let support = Aig.support aig inlined in
@@ -17,6 +21,7 @@ let compute ?config m checker ~prng ~frontier ~extra_vars =
   let to_quantify =
     List.filter (fun v -> List.mem v input_vars || List.mem v extra_vars) support
   in
+  Obs.observe obs_substituted_size (Aig.size aig inlined);
   let q = Quantify.all ?config aig checker ~prng inlined ~vars:to_quantify in
   {
     lit = q.Quantify.lit;

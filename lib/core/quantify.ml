@@ -1,3 +1,14 @@
+(* Abort accounting is the paper's headline number: how often the growth
+   budget rejects an elimination and hands the variable to the SAT engine
+   (partial quantification, §4). *)
+let obs_span = Obs.span "quantify.one"
+let obs_eliminated = Obs.counter "quantify.vars.eliminated"
+let obs_aborted = Obs.counter "quantify.vars.aborted"
+let obs_independent = Obs.counter "quantify.vars.independent"
+let obs_cofactor_size = Obs.histogram "quantify.cofactor_size"
+let obs_result_size = Obs.histogram "quantify.result_size"
+let obs_saved = Obs.counter "quantify.nodes_saved_vs_naive"
+
 type config = {
   sweep : Sweep.Sweeper.config;
   use_dontcare : bool;
@@ -54,8 +65,10 @@ let within_budget config ~before ~after =
      <= (config.growth_limit *. float_of_int before) +. float_of_int config.growth_slack
 
 let one ?(config = default) aig checker ~prng l v =
+  Obs.with_span obs_span @@ fun () ->
   let size_before = Aig.size aig l in
-  if not (Aig.depends_on aig l v) then
+  if not (Aig.depends_on aig l v) then begin
+    Obs.incr obs_independent;
     ( Ok l,
       {
         var = v;
@@ -68,6 +81,7 @@ let one ?(config = default) aig checker ~prng l v =
         size_after = size_before;
         aborted = false;
       } )
+  end
   else begin
     let f0 = Aig.cofactor aig l ~v ~phase:false in
     let f1 = Aig.cofactor aig l ~v ~phase:true in
@@ -100,6 +114,11 @@ let one ?(config = default) aig checker ~prng l v =
     in
     let size_after = Aig.size aig result in
     let aborted = not (within_budget config ~before:size_before ~after:size_after) in
+    Obs.incr (if aborted then obs_aborted else obs_eliminated);
+    Obs.observe obs_cofactor_size (Aig.size aig f0);
+    Obs.observe obs_cofactor_size (Aig.size aig f1);
+    Obs.observe obs_result_size size_after;
+    if not aborted then Obs.add obs_saved (max 0 (size_naive - size_after));
     let report =
       {
         var = v;

@@ -3,6 +3,16 @@ type verdict =
   | Falsified of { depth : int; trace : Trace.t option }
   | Out_of_budget of string
 
+(* Per-frame accounting. The iteration span is recorded from the step
+   stopwatch already running (the loop is tail-recursive, so a [with_span]
+   wrapper would nest and double-count). Shared with [Forward]. *)
+let obs_iterations = Obs.counter "reach.iterations"
+let obs_iter_span = Obs.span "reach.iteration"
+let obs_frontier_size = Obs.histogram "reach.frontier_size"
+let obs_reached_size = Obs.histogram "reach.reached_size"
+let obs_eliminated = Obs.counter "reach.eliminated_inputs"
+let obs_kept = Obs.counter "reach.kept_inputs"
+
 type iteration = {
   index : int;
   frontier_size : int;
@@ -81,6 +91,15 @@ let run ?(config = default) model =
   let init = Netlist.Model.init_lit model in
   let iterations = ref [] in
   let peak = ref 0 in
+  let push_iteration it =
+    Obs.incr obs_iterations;
+    Obs.add_seconds obs_iter_span it.seconds;
+    Obs.observe obs_frontier_size it.frontier_size;
+    Obs.observe obs_reached_size it.reached_size;
+    Obs.add obs_eliminated it.eliminated_inputs;
+    Obs.add obs_kept it.kept_inputs;
+    iterations := it :: !iterations
+  in
   let finish ?invariant verdict =
     {
       verdict;
@@ -157,7 +176,7 @@ let run ?(config = default) model =
         if fsize > !peak then peak := fsize;
         let hit_init = exact_answer checker [ init; new_frontier ] = Cnf.Checker.Yes in
         if hit_init then begin
-          iterations :=
+          push_iteration
             {
               index = k;
               frontier_size = fsize;
@@ -166,14 +185,13 @@ let run ?(config = default) model =
               kept_inputs = List.length pre.Preimage.kept;
               naive_size = sum_naive pre.Preimage.reports;
               seconds = Util.Stopwatch.elapsed step_watch;
-            }
-            :: !iterations;
+            };
           finish (falsified k)
         end
         else begin
           let no_new = exact_answer checker [ new_frontier; Aig.not_ !reached ] = Cnf.Checker.No in
           let reached' = Aig.or_ aig !reached new_frontier in
-          iterations :=
+          push_iteration
             {
               index = k;
               frontier_size = fsize;
@@ -182,8 +200,7 @@ let run ?(config = default) model =
               kept_inputs = List.length pre.Preimage.kept;
               naive_size = sum_naive pre.Preimage.reports;
               seconds = Util.Stopwatch.elapsed step_watch;
-            }
-            :: !iterations;
+            };
           if no_new then begin
             (* without residual variables the complement of the reached
                set is an inductive invariant: a checkable certificate *)

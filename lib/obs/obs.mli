@@ -1,0 +1,140 @@
+(** Unified telemetry: hierarchical named counters, monotonic spans and
+    histogram accumulators behind one global registry, with a
+    machine-readable JSON run report.
+
+    Every subsystem registers its metrics once (at module initialisation)
+    under dotted hierarchical names — ["sweep.merge.bdd"],
+    ["sat.solve_calls"] — and updates them through handles. Collection is
+    {e disabled by default} and guarded by a single flat [enabled] flag:
+    the disabled path of {!incr}/{!add}/{!observe} is one boolean load and
+    a branch, with no allocation, so instrumentation may sit on hot paths
+    (the AIG strash front-end, SAT propagation accounting).
+
+    {!with_span} does allocate its closure at the call site even when
+    disabled; use it at coarse granularity only (an iteration, a solve
+    call) and prefer {!add_seconds} with an existing measurement where a
+    stopwatch is already running.
+
+    The report schema is documented in [docs/OBSERVABILITY.md]; this
+    module is its single source of truth. *)
+
+(** {1 JSON}
+
+    Zero-dependency JSON values, serializer and parser — enough to write
+    run reports and read them back in tests and table generators. *)
+
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  (** Compact single-line serialization. Non-finite floats are clamped to
+      [0] (JSON has no [inf]/[nan]). *)
+  val to_string : t -> string
+
+  (** Pretty serialization, two-space indent. *)
+  val pp : Format.formatter -> t -> unit
+
+  (** Strict parser for the subset {!to_string} emits (standard JSON minus
+      exotic escapes). [Error msg] carries a byte offset. *)
+  val of_string : string -> (t, string) result
+
+  (** [member key json] is the value under [key] of an object. *)
+  val member : string -> t -> t option
+end
+
+(** {1 Collection switch} *)
+
+(** The flat guard every update checks. Exposed as a [ref] so the check
+    compiles to one load; prefer {!set_enabled} for writing. *)
+val enabled : bool ref
+
+val set_enabled : bool -> unit
+
+(** Zero every registered metric and drop all run metadata. Registration
+    itself (names, handles) is permanent for the process. *)
+val reset : unit -> unit
+
+(** {1 Counters} *)
+
+type counter
+
+(** [counter name] registers (or retrieves — names are unique) a counter.
+    Dots in [name] express hierarchy: ["sweep.merge.sat"]. *)
+val counter : string -> counter
+
+(** One boolean load and an in-place add when enabled; no-op otherwise. *)
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+val value : counter -> int
+
+(** [value_of name] is the current value of the counter registered under
+    [name], or [0] when no such counter exists. For tests and table
+    generators; prefer handles elsewhere. *)
+val value_of : string -> int
+
+(** {1 Spans}
+
+    A span accumulates wall-clock time over repeated executions of one
+    region: call count, total seconds, and the longest single execution. *)
+
+type span
+
+val span : string -> span
+
+(** [with_span s f] times [f ()] (via [Util.Stopwatch]) and accumulates
+    into [s]; when collection is disabled it runs [f ()] directly. The
+    measurement is recorded even when [f] raises. *)
+val with_span : span -> (unit -> 'a) -> 'a
+
+(** Record an externally measured duration (for regions that already keep
+    a stopwatch, or recursive loops where nesting would double-count). *)
+val add_seconds : span -> float -> unit
+
+val span_count : span -> int
+val span_seconds : span -> float
+
+(** {1 Histograms}
+
+    Power-of-two bucketed accumulators over non-negative integers (sizes,
+    conflict counts): bucket 0 holds the value 0, bucket [i ≥ 1] the
+    values in [[2{^i-1}, 2{^i})]. Count, sum, min and max are exact;
+    only the distribution is bucketed. *)
+
+type histogram
+
+val histogram : string -> histogram
+
+(** Negative values are clamped to 0. *)
+val observe : histogram -> int -> unit
+
+val hist_count : histogram -> int
+val hist_sum : histogram -> int
+
+(** {1 Run reports} *)
+
+(** [meta key value] attaches a run-level string pair ([model], [engine],
+    [verdict], …) to the next report; replaces on equal [key]. Metadata
+    ignores the [enabled] guard — stamping a report after a disabled run
+    is legitimate. *)
+val meta : string -> string -> unit
+
+(** The full report as JSON — see [docs/OBSERVABILITY.md] for the schema.
+    Metric maps are flat objects keyed by the dotted names, sorted. Every
+    registered counter appears, including zero-valued ones (consumers diff
+    reports across runs); spans and histograms never recorded into since
+    the last {!reset} are omitted. *)
+val report : unit -> Json.t
+
+(** {!report} pretty-printed to a file. *)
+val write_report : string -> unit
+
+(** Human-readable roll-up of every non-zero metric, grouped by the first
+    name segment. *)
+val pp_summary : Format.formatter -> unit -> unit

@@ -1,5 +1,19 @@
 type result = Sat | Unsat | Unknown
 
+(* Telemetry: per-solve-call accounting, flushed as deltas when a call
+   returns so the inner CDCL loops stay untouched (the factorized
+   SAT-merge discipline makes "one solve call" = "one equivalence /
+   containment check", which is the granularity the histograms record). *)
+let obs_solve_calls = Obs.counter "sat.solve_calls"
+let obs_decisions = Obs.counter "sat.decisions"
+let obs_propagations = Obs.counter "sat.propagations"
+let obs_conflicts = Obs.counter "sat.conflicts"
+let obs_restarts = Obs.counter "sat.restarts"
+let obs_solve_span = Obs.span "sat.solve"
+let obs_conflicts_per_call = Obs.histogram "sat.conflicts_per_call"
+let obs_decisions_per_call = Obs.histogram "sat.decisions_per_call"
+let obs_propagations_per_call = Obs.histogram "sat.propagations_per_call"
+
 type clause = {
   mutable lits : int array;
   mutable activity : float;
@@ -525,7 +539,7 @@ let pick_branch_var t =
   in
   go ()
 
-let solve ?(assumptions = []) ?(conflict_limit = max_int) t =
+let solve_raw ?(assumptions = []) ?(conflict_limit = max_int) t =
   cancel_until t 0;
   t.failed <- [];
   if not t.ok then Unsat
@@ -606,6 +620,24 @@ let solve ?(assumptions = []) ?(conflict_limit = max_int) t =
     done;
     cancel_until t 0;
     match !status with Some s -> s | None -> Unknown
+  end
+
+let solve ?assumptions ?conflict_limit t =
+  if not !Obs.enabled then solve_raw ?assumptions ?conflict_limit t
+  else begin
+    let d0 = t.decisions and p0 = t.propagations and c0 = t.conflicts and r0 = t.restarts in
+    let watch = Util.Stopwatch.start () in
+    let result = solve_raw ?assumptions ?conflict_limit t in
+    Obs.add_seconds obs_solve_span (Util.Stopwatch.elapsed watch);
+    Obs.incr obs_solve_calls;
+    Obs.add obs_decisions (t.decisions - d0);
+    Obs.add obs_propagations (t.propagations - p0);
+    Obs.add obs_conflicts (t.conflicts - c0);
+    Obs.add obs_restarts (t.restarts - r0);
+    Obs.observe obs_decisions_per_call (t.decisions - d0);
+    Obs.observe obs_conflicts_per_call (t.conflicts - c0);
+    Obs.observe obs_propagations_per_call (t.propagations - p0);
+    result
   end
 
 let value t v =

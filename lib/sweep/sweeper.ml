@@ -1,5 +1,26 @@
 type direction = Forward | Backward
 
+(* Merge-point provenance (docs/OBSERVABILITY.md): which technique found
+   each merge. "hash" counts the strash hits of the underlying manager
+   while the sweeper ran — structural merges the front-end discovers for
+   free; "sim" counts candidate pairs simulation proposed (an upper bound
+   the BDD/SAT stages settle). *)
+let obs_runs = Obs.counter "sweep.runs"
+let obs_span = Obs.span "sweep.run"
+let obs_merge_hash = Obs.counter "sweep.merge.hash"
+let obs_merge_sim = Obs.counter "sweep.merge.sim"
+let obs_merge_bdd = Obs.counter "sweep.merge.bdd"
+let obs_merge_sat = Obs.counter "sweep.merge.sat"
+let obs_bdd_aborts = Obs.counter "sweep.bdd.aborts"
+let obs_sat_calls = Obs.counter "sweep.sat.calls"
+let obs_sat_refuted = Obs.counter "sweep.sat.refuted"
+let obs_sat_unknown = Obs.counter "sweep.sat.unknown"
+let obs_sat_skipped = Obs.counter "sweep.sat.skipped_covered"
+let obs_forward_runs = Obs.counter "sweep.sat.forward_runs"
+let obs_backward_runs = Obs.counter "sweep.sat.backward_runs"
+let obs_refinements = Obs.counter "sweep.sim.refinements"
+let obs_cone_size = Obs.histogram "sweep.cone_size"
+
 type config = {
   sim_rounds : int;
   bdd_node_limit : int;
@@ -65,6 +86,8 @@ module Merge_map = struct
 end
 
 let run ?(config = default) aig checker ~prng ~roots =
+  let watch = Util.Stopwatch.start () in
+  let strash_before = (Aig.stats aig).Aig.strash_hits in
   let mm = Merge_map.create () in
   let cone_size = Aig.size_list aig roots in
   (* stage 2: simulation candidates *)
@@ -90,6 +113,7 @@ let run ?(config = default) aig checker ~prng ~roots =
   (match config.sat with
   | None -> ()
   | Some direction ->
+    Obs.incr (match direction with Forward -> obs_forward_runs | Backward -> obs_backward_runs);
     Cnf.Checker.set_conflict_limit checker config.sat_conflict_limit;
     let hard : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
     (* backward mode: nodes strictly below an already-merged node *)
@@ -173,8 +197,26 @@ let run ?(config = default) aig checker ~prng ~roots =
       total_merges = Merge_map.merged_nodes mm;
     }
   in
+  Obs.incr obs_runs;
+  Obs.add_seconds obs_span (Util.Stopwatch.elapsed watch);
+  Obs.observe obs_cone_size cone_size;
+  Obs.add obs_merge_hash ((Aig.stats aig).Aig.strash_hits - strash_before);
+  Obs.add obs_merge_sim (max 0 (report.candidate_literals - report.candidate_classes));
+  Obs.add obs_merge_bdd report.bdd_merges;
+  Obs.add obs_merge_sat report.sat_merges;
+  if report.bdd_aborted then Obs.incr obs_bdd_aborts;
+  Obs.add obs_sat_calls report.sat_calls;
+  Obs.add obs_sat_refuted report.sat_refuted;
+  Obs.add obs_sat_unknown report.sat_unknown;
+  Obs.add obs_sat_skipped report.sat_skipped_covered;
+  Obs.add obs_refinements report.sim_refinements;
   (Merge_map.find mm, report)
 
 let sweep_lits ?config aig checker ~prng lits =
   let repl, report = run ?config aig checker ~prng ~roots:lits in
-  (List.map (fun l -> Aig.rebuild aig ~repl l) lits, report)
+  (* strash hits during the rebuild are merge points too: applying the
+     substitution lets the hashing front-end collapse newly-equal cones *)
+  let strash_before = (Aig.stats aig).Aig.strash_hits in
+  let rebuilt = List.map (fun l -> Aig.rebuild aig ~repl l) lits in
+  Obs.add obs_merge_hash ((Aig.stats aig).Aig.strash_hits - strash_before);
+  (rebuilt, report)

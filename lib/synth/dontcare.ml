@@ -5,6 +5,14 @@ type config = {
   odc_max_tries : int;
 }
 
+let obs_span = Obs.span "dontcare.disjunction"
+let obs_attempts = Obs.counter "dontcare.attempts"
+let obs_const = Obs.counter "dontcare.replacements.const"
+let obs_merge = Obs.counter "dontcare.replacements.merge"
+let obs_odc_attempts = Obs.counter "dontcare.odc.attempts"
+let obs_odc_accepted = Obs.counter "dontcare.odc.accepted"
+let obs_odc_rejected = Obs.counter "dontcare.odc.rejected"
+
 let default = { sim_rounds = 8; conflict_limit = Some 5_000; use_merges = true; odc_max_tries = 16 }
 
 type report = {
@@ -80,10 +88,18 @@ let input_dc_pass aig checker ~prng ~config ~care ~target ~extra_targets =
           | lm :: rest ->
             if budget = 0 then ()
             else begin
+              Obs.incr obs_attempts;
               match Cnf.Checker.equal_under checker ~care ln lm with
               | Cnf.Checker.Yes ->
                 Hashtbl.replace repl_tbl n lm;
-                if Aig.is_const lm then incr consts else incr merges
+                if Aig.is_const lm then begin
+                  incr consts;
+                  Obs.incr obs_const
+                end
+                else begin
+                  incr merges;
+                  Obs.incr obs_merge
+                end
               | Cnf.Checker.No | Cnf.Checker.Maybe -> try_candidates (budget - 1) rest
             end
         in
@@ -142,13 +158,16 @@ let odc_pass aig checker ~prng ~config g =
             let repl m = if m = n then c else Aig.lit_of_node m in
             let g' = Aig.rebuild aig ~repl !g in
             if g' <> !g && Aig.size aig g' < Aig.size aig !g then begin
+              Obs.incr obs_odc_attempts;
               match Cnf.Checker.equal checker !g g' with
               | Cnf.Checker.Yes ->
                 incr accepted;
+                Obs.incr obs_odc_accepted;
                 g := g';
                 continue := true (* re-derive candidates on the new graph *)
               | Cnf.Checker.No | Cnf.Checker.Maybe ->
                 incr rejected;
+                Obs.incr obs_odc_rejected;
                 attempt rest
             end
             else attempt rest
@@ -167,6 +186,7 @@ let simplify_under_care ?(config = default) aig checker ~prng ~care f =
   if Aig.size aig f' <= before then (f', (consts, merges)) else (f, (0, 0))
 
 let disjunction ?(config = default) aig checker ~prng f0 f1 =
+  Obs.with_span obs_span @@ fun () ->
   let queries0 = Cnf.Checker.queries checker in
   let plain = Aig.or_ aig f0 f1 in
   let size_before = Aig.size aig plain in
