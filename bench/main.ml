@@ -55,11 +55,12 @@ let with_report label f =
   match !stats_dir with
   | None -> f ()
   | Some dir ->
-    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    Util.Fs.mkdirs dir;
     Obs.reset ();
     Obs.set_enabled true;
-    let result = f () in
-    Obs.set_enabled false;
+    (* disarm even if the row raises, so one broken experiment cannot
+       leak its telemetry into the next row's report *)
+    let result = Fun.protect ~finally:(fun () -> Obs.set_enabled false) f in
     Obs.meta "tool" "bench";
     Obs.meta "experiment" label;
     incr report_seq;
@@ -70,6 +71,7 @@ let with_report label f =
     in
     let path = Filename.concat dir (Printf.sprintf "%03d-%s.json" !report_seq sanitized) in
     Obs.write_report path;
+    Obs.reset ();
     result
 
 (* ---------------------------------------------------------------- *)

@@ -188,6 +188,21 @@ let stats_json_arg =
     & info [ "stats-json" ] ~docv:"FILE"
         ~doc:"collect telemetry and write the JSON run report to $(docv) (schema: docs/OBSERVABILITY.md)")
 
+let trace_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-json" ] ~docv:"FILE"
+        ~doc:
+          "record structured trace events and write them to $(docv) in Chrome trace_event \
+           format (load in chrome://tracing or ui.perfetto.dev)")
+
+let progress_arg =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:"report live per-frame progress on stderr (updated in place on a terminal)")
+
 let engine_name engine = fst (List.find (fun (_, e) -> e = engine) engine_names)
 
 let emit_stats ~stats ~stats_json ~model ~engine ~watch outcome =
@@ -209,11 +224,19 @@ let emit_stats ~stats ~stats_json ~model ~engine ~watch outcome =
 
 let run_cmd =
   let doc = "verify a circuit's safety property" in
-  let run circuit param aag engine verbose trace seq_sweep coi minimize stats stats_json =
-    if stats || stats_json <> None then begin
+  let run circuit param aag engine verbose trace seq_sweep coi minimize stats stats_json
+      trace_json progress =
+    (* --progress reads the sweep merge counters, so it needs the registry
+       live even without --stats *)
+    if stats || stats_json <> None || progress then begin
       Obs.reset ();
       Obs.set_enabled true
     end;
+    if trace_json <> None then begin
+      Obs.Trace_events.reset ();
+      Obs.Trace_events.set_enabled true
+    end;
+    if progress then Obs.Progress.start ();
     let watch = Util.Stopwatch.start () in
     let model, status = load_model circuit param aag in
     Format.printf "model %s: %a@." (Netlist.Model.name model) Netlist.Model.pp_stats
@@ -235,8 +258,16 @@ let run_cmd =
       else model
     in
     let outcome = run_engine ~minimize engine model verbose trace in
+    if progress then Obs.Progress.finish ();
     if stats || stats_json <> None then
       emit_stats ~stats ~stats_json ~model ~engine ~watch outcome;
+    (match trace_json with
+    | Some path ->
+      Obs.Trace_events.set_enabled false;
+      Obs.Trace_events.write path;
+      Format.printf "trace: wrote %s (%d events, %d dropped)@." path
+        (Obs.Trace_events.recorded ()) (Obs.Trace_events.dropped ())
+    | None -> ());
     match status with
     | None -> if outcome = `Undecided then exit 2 else exit 0
     | Some expected ->
@@ -255,7 +286,8 @@ let run_cmd =
   ( Cmd.info "run" ~doc,
     Term.(
       const run $ circuit_arg $ param_arg $ aag_arg $ engine_arg $ verbose_arg $ trace_arg
-      $ seq_sweep_arg $ coi_arg $ minimize_arg $ stats_arg $ stats_json_arg) )
+      $ seq_sweep_arg $ coi_arg $ minimize_arg $ stats_arg $ stats_json_arg $ trace_json_arg
+      $ progress_arg) )
 
 let run_term = snd run_cmd
 let run_cmd = Cmd.v (fst run_cmd) run_term

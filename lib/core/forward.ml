@@ -121,6 +121,7 @@ let run ?(config = Reachability.default) model =
         finish (Reachability.Out_of_budget "iteration limit")
       else begin
         let step_watch = Util.Stopwatch.start () in
+        Obs.Trace_events.begin_args "reach.frame" "frame" k;
         let img, q = image !frontier in
         let img =
           if config.Reachability.sweep_frontier then
@@ -154,14 +155,22 @@ let run ?(config = Reachability.default) model =
         Obs.observe obs_reached_size it.Reachability.reached_size;
         Obs.add obs_eliminated it.Reachability.eliminated_inputs;
         Obs.add obs_kept it.Reachability.kept_inputs;
+        Obs.Trace_events.sample "reach.frontier_size" it.Reachability.frontier_size;
+        Obs.Trace_events.sample "reach.reached_size" it.Reachability.reached_size;
+        Obs.Progress.frame ~index:it.Reachability.index ~nodes:it.Reachability.frontier_size;
         iterations := it :: !iterations;
-        if exact_answer checker [ img; bad ] = Cnf.Checker.Yes then finish (falsified k)
+        Obs.Trace_events.end_args "reach.frame" "frontier_size" fsize;
+        if exact_answer checker [ img; bad ] = Cnf.Checker.Yes then begin
+          Obs.Trace_events.instant_args "reach.falsified" "frame" k;
+          finish (falsified k)
+        end
         else if exact_answer checker [ img; Aig.not_ !reached ] = Cnf.Checker.No then begin
           (* forward certificate: the reached set itself is inductive,
              contains the initial states, and avoids every bad state *)
           let invariant =
             if bad_clean && !aux_vars = [] then Some reached' else None
           in
+          Obs.Trace_events.instant_args "reach.proved" "frame" k;
           finish ?invariant Reachability.Proved
         end
         else begin

@@ -14,6 +14,7 @@ let obs_substituted_size = Obs.histogram "preimage.substituted_size"
 
 let compute ?config m checker ~prng ~frontier ~extra_vars =
   Obs.with_span obs_span @@ fun () ->
+  Obs.Trace_events.begin_ "preimage.compute";
   let aig = Netlist.Model.aig m in
   let inlined = substitute m frontier in
   let support = Aig.support aig inlined in
@@ -23,6 +24,7 @@ let compute ?config m checker ~prng ~frontier ~extra_vars =
   in
   Obs.observe obs_substituted_size (Aig.size aig inlined);
   let q = Quantify.all ?config aig checker ~prng inlined ~vars:to_quantify in
+  Obs.Trace_events.end_args "preimage.compute" "kept" (List.length q.Quantify.kept);
   {
     lit = q.Quantify.lit;
     substituted_size = Aig.size aig inlined;

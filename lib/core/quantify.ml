@@ -66,9 +66,11 @@ let within_budget config ~before ~after =
 
 let one ?(config = default) aig checker ~prng l v =
   Obs.with_span obs_span @@ fun () ->
+  Obs.Trace_events.begin_args "quantify.var" "var" v;
   let size_before = Aig.size aig l in
   if not (Aig.depends_on aig l v) then begin
     Obs.incr obs_independent;
+    Obs.Trace_events.end_args "quantify.var" "result_size" size_before;
     ( Ok l,
       {
         var = v;
@@ -114,6 +116,10 @@ let one ?(config = default) aig checker ~prng l v =
     in
     let size_after = Aig.size aig result in
     let aborted = not (within_budget config ~before:size_before ~after:size_after) in
+    (* partial-quantification marker: the growth budget rejected this
+       elimination and the variable stays for the SAT engine *)
+    if aborted then Obs.Trace_events.instant_args "quantify.aborted" "var" v;
+    Obs.Trace_events.end_args "quantify.var" "result_size" size_after;
     Obs.incr (if aborted then obs_aborted else obs_eliminated);
     Obs.observe obs_cofactor_size (Aig.size aig f0);
     Obs.observe obs_cofactor_size (Aig.size aig f1);

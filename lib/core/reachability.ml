@@ -98,6 +98,9 @@ let run ?(config = default) model =
     Obs.observe obs_reached_size it.reached_size;
     Obs.add obs_eliminated it.eliminated_inputs;
     Obs.add obs_kept it.kept_inputs;
+    Obs.Trace_events.sample "reach.frontier_size" it.frontier_size;
+    Obs.Trace_events.sample "reach.reached_size" it.reached_size;
+    Obs.Progress.frame ~index:it.index ~nodes:it.frontier_size;
     iterations := it :: !iterations
   in
   let finish ?invariant verdict =
@@ -141,6 +144,7 @@ let run ?(config = default) model =
       if k > config.max_iterations then finish (Out_of_budget "iteration limit")
       else begin
         let step_watch = Util.Stopwatch.start () in
+        Obs.Trace_events.begin_args "reach.frame" "frame" k;
         let pre =
           Preimage.compute ~config:config.quant model checker ~prng ~frontier:!frontier
             ~extra_vars:!aux_vars
@@ -186,6 +190,8 @@ let run ?(config = default) model =
               naive_size = sum_naive pre.Preimage.reports;
               seconds = Util.Stopwatch.elapsed step_watch;
             };
+          Obs.Trace_events.end_args "reach.frame" "frontier_size" fsize;
+          Obs.Trace_events.instant_args "reach.falsified" "frame" k;
           finish (falsified k)
         end
         else begin
@@ -201,12 +207,14 @@ let run ?(config = default) model =
               naive_size = sum_naive pre.Preimage.reports;
               seconds = Util.Stopwatch.elapsed step_watch;
             };
+          Obs.Trace_events.end_args "reach.frame" "frontier_size" fsize;
           if no_new then begin
             (* without residual variables the complement of the reached
                set is an inductive invariant: a checkable certificate *)
             let invariant =
               if b0_clean && !aux_vars = [] then Some (Aig.not_ reached') else None
             in
+            Obs.Trace_events.instant_args "reach.proved" "frame" k;
             finish ?invariant Proved
           end
           else begin

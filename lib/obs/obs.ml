@@ -1,463 +1,12 @@
-(* The registry is process-global and single-threaded, like every manager
-   in this codebase. Handles are plain mutable records so the enabled-path
-   update is a load, an add and a store; the disabled path is one load and
-   a branch. *)
+(* Facade over the observability layer. The implementation is split by
+   concern — [Json] (serialization), [Registry] (aggregate metrics and
+   run reports), [Trace_events] (timeline tracing), [Progress] (live
+   frame reporting), [Regress] (report-tree diffing) — and re-exported
+   here so call sites keep the flat [Obs.incr] / [Obs.Trace_events.*]
+   spelling and the library presents one module. *)
 
-module Json = struct
-  type t =
-    | Null
-    | Bool of bool
-    | Int of int
-    | Float of float
-    | String of string
-    | List of t list
-    | Obj of (string * t) list
-
-  let escape buf s =
-    String.iter
-      (fun c ->
-        match c with
-        | '"' -> Buffer.add_string buf "\\\""
-        | '\\' -> Buffer.add_string buf "\\\\"
-        | '\n' -> Buffer.add_string buf "\\n"
-        | '\r' -> Buffer.add_string buf "\\r"
-        | '\t' -> Buffer.add_string buf "\\t"
-        | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-        | c -> Buffer.add_char buf c)
-      s
-
-  (* JSON has no inf/nan; telemetry times are finite unless a clock
-     misbehaves, in which case 0 is the least-misleading stand-in. *)
-  let float_repr f =
-    if Float.is_nan f || Float.is_integer f && Float.abs f < 1e15 then
-      Printf.sprintf "%.1f" (if Float.is_nan f then 0.0 else f)
-    else if Float.abs f = Float.infinity then "0.0"
-    else Printf.sprintf "%.9g" f
-
-  let rec write buf = function
-    | Null -> Buffer.add_string buf "null"
-    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-    | Int i -> Buffer.add_string buf (string_of_int i)
-    | Float f -> Buffer.add_string buf (float_repr f)
-    | String s ->
-      Buffer.add_char buf '"';
-      escape buf s;
-      Buffer.add_char buf '"'
-    | List items ->
-      Buffer.add_char buf '[';
-      List.iteri
-        (fun i item ->
-          if i > 0 then Buffer.add_char buf ',';
-          write buf item)
-        items;
-      Buffer.add_char buf ']'
-    | Obj fields ->
-      Buffer.add_char buf '{';
-      List.iteri
-        (fun i (k, v) ->
-          if i > 0 then Buffer.add_char buf ',';
-          Buffer.add_char buf '"';
-          escape buf k;
-          Buffer.add_string buf "\":";
-          write buf v)
-        fields;
-      Buffer.add_char buf '}'
-
-  let to_string v =
-    let buf = Buffer.create 256 in
-    write buf v;
-    Buffer.contents buf
-
-  let rec pp ppf = function
-    | (Null | Bool _ | Int _ | Float _ | String _) as v -> Format.pp_print_string ppf (to_string v)
-    | List [] -> Format.pp_print_string ppf "[]"
-    | List items ->
-      Format.fprintf ppf "[@;<0 2>@[<v>%a@]@,]"
-        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@,") pp)
-        items
-    | Obj [] -> Format.pp_print_string ppf "{}"
-    | Obj fields ->
-      let field ppf (k, v) = Format.fprintf ppf "%s: %a" (to_string (String k)) pp v in
-      Format.fprintf ppf "{@;<0 2>@[<v>%a@]@,}"
-        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@,") field)
-        fields
-
-  exception Parse_error of int * string
-
-  let of_string s =
-    let n = String.length s in
-    let pos = ref 0 in
-    let fail msg = raise (Parse_error (!pos, msg)) in
-    let peek () = if !pos < n then Some s.[!pos] else None in
-    let advance () = incr pos in
-    let rec skip_ws () =
-      match peek () with
-      | Some (' ' | '\t' | '\n' | '\r') ->
-        advance ();
-        skip_ws ()
-      | _ -> ()
-    in
-    let expect c =
-      match peek () with
-      | Some c' when c' = c -> advance ()
-      | _ -> fail (Printf.sprintf "expected %c" c)
-    in
-    let literal word value =
-      if !pos + String.length word <= n && String.sub s !pos (String.length word) = word then begin
-        pos := !pos + String.length word;
-        value
-      end
-      else fail ("expected " ^ word)
-    in
-    let parse_string () =
-      expect '"';
-      let buf = Buffer.create 16 in
-      let rec go () =
-        match peek () with
-        | None -> fail "unterminated string"
-        | Some '"' -> advance ()
-        | Some '\\' -> (
-          advance ();
-          match peek () with
-          | Some '"' -> Buffer.add_char buf '"'; advance (); go ()
-          | Some '\\' -> Buffer.add_char buf '\\'; advance (); go ()
-          | Some '/' -> Buffer.add_char buf '/'; advance (); go ()
-          | Some 'n' -> Buffer.add_char buf '\n'; advance (); go ()
-          | Some 'r' -> Buffer.add_char buf '\r'; advance (); go ()
-          | Some 't' -> Buffer.add_char buf '\t'; advance (); go ()
-          | Some 'u' ->
-            advance ();
-            if !pos + 4 > n then fail "truncated \\u escape";
-            let code = int_of_string ("0x" ^ String.sub s !pos 4) in
-            pos := !pos + 4;
-            (* report strings are ASCII; decode the BMP subset as UTF-8 *)
-            if code < 0x80 then Buffer.add_char buf (Char.chr code)
-            else if code < 0x800 then begin
-              Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
-              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
-            end
-            else begin
-              Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
-              Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
-              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
-            end;
-            go ()
-          | _ -> fail "bad escape")
-        | Some c ->
-          Buffer.add_char buf c;
-          advance ();
-          go ()
-      in
-      go ();
-      Buffer.contents buf
-    in
-    let parse_number () =
-      let start = !pos in
-      let is_float = ref false in
-      let rec go () =
-        match peek () with
-        | Some ('0' .. '9' | '-' | '+') ->
-          advance ();
-          go ()
-        | Some ('.' | 'e' | 'E') ->
-          is_float := true;
-          advance ();
-          go ()
-        | _ -> ()
-      in
-      go ();
-      let text = String.sub s start (!pos - start) in
-      if !is_float then
-        match float_of_string_opt text with Some f -> Float f | None -> fail "bad number"
-      else
-        match int_of_string_opt text with
-        | Some i -> Int i
-        | None -> (
-          match float_of_string_opt text with Some f -> Float f | None -> fail "bad number")
-    in
-    let rec parse_value () =
-      skip_ws ();
-      match peek () with
-      | None -> fail "unexpected end of input"
-      | Some '"' -> String (parse_string ())
-      | Some 't' -> literal "true" (Bool true)
-      | Some 'f' -> literal "false" (Bool false)
-      | Some 'n' -> literal "null" Null
-      | Some '{' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some '}' then begin
-          advance ();
-          Obj []
-        end
-        else begin
-          let rec fields acc =
-            skip_ws ();
-            let k = parse_string () in
-            skip_ws ();
-            expect ':';
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-              advance ();
-              fields ((k, v) :: acc)
-            | Some '}' ->
-              advance ();
-              List.rev ((k, v) :: acc)
-            | _ -> fail "expected , or }"
-          in
-          Obj (fields [])
-        end
-      | Some '[' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some ']' then begin
-          advance ();
-          List []
-        end
-        else begin
-          let rec items acc =
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-              advance ();
-              items (v :: acc)
-            | Some ']' ->
-              advance ();
-              List.rev (v :: acc)
-            | _ -> fail "expected , or ]"
-          in
-          List (items [])
-        end
-      | Some _ -> parse_number ()
-    in
-    match
-      let v = parse_value () in
-      skip_ws ();
-      if !pos <> n then fail "trailing input";
-      v
-    with
-    | v -> Ok v
-    | exception Parse_error (at, msg) -> Error (Printf.sprintf "at byte %d: %s" at msg)
-    | exception Failure msg -> Error msg
-
-  let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
-end
-
-let enabled = ref false
-let set_enabled b = enabled := b
-
-type counter = { c_name : string; mutable c_value : int }
-
-type span = {
-  s_name : string;
-  mutable s_count : int;
-  mutable s_total : float;
-  mutable s_max : float;
-}
-
-let hist_buckets = 63
-
-type histogram = {
-  h_name : string;
-  mutable h_count : int;
-  mutable h_sum : int;
-  mutable h_min : int;
-  mutable h_max : int;
-  h_bucket : int array; (* index = bit length of the value *)
-}
-
-(* Registries keep insertion order irrelevant: reports sort by name. *)
-let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
-let spans : (string, span) Hashtbl.t = Hashtbl.create 16
-let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
-let metadata : (string * string) list ref = ref []
-
-let counter name =
-  match Hashtbl.find_opt counters name with
-  | Some c -> c
-  | None ->
-    let c = { c_name = name; c_value = 0 } in
-    Hashtbl.replace counters name c;
-    c
-
-let incr c = if !enabled then c.c_value <- c.c_value + 1
-let add c n = if !enabled then c.c_value <- c.c_value + n
-let value c = c.c_value
-let value_of name = match Hashtbl.find_opt counters name with Some c -> c.c_value | None -> 0
-
-let span name =
-  match Hashtbl.find_opt spans name with
-  | Some s -> s
-  | None ->
-    let s = { s_name = name; s_count = 0; s_total = 0.0; s_max = 0.0 } in
-    Hashtbl.replace spans name s;
-    s
-
-let record_span s dt =
-  s.s_count <- s.s_count + 1;
-  s.s_total <- s.s_total +. dt;
-  if dt > s.s_max then s.s_max <- dt
-
-let add_seconds s dt = if !enabled then record_span s dt
-
-let with_span s f =
-  if not !enabled then f ()
-  else begin
-    let watch = Util.Stopwatch.start () in
-    Fun.protect ~finally:(fun () -> record_span s (Util.Stopwatch.elapsed watch)) f
-  end
-
-let span_count s = s.s_count
-let span_seconds s = s.s_total
-
-let histogram name =
-  match Hashtbl.find_opt histograms name with
-  | Some h -> h
-  | None ->
-    let h =
-      {
-        h_name = name;
-        h_count = 0;
-        h_sum = 0;
-        h_min = max_int;
-        h_max = 0;
-        h_bucket = Array.make (hist_buckets + 1) 0;
-      }
-    in
-    Hashtbl.replace histograms name h;
-    h
-
-let bit_length v =
-  let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in
-  go 0 v
-
-let observe h v =
-  if !enabled then begin
-    let v = if v < 0 then 0 else v in
-    h.h_count <- h.h_count + 1;
-    h.h_sum <- h.h_sum + v;
-    if v < h.h_min then h.h_min <- v;
-    if v > h.h_max then h.h_max <- v;
-    let i = bit_length v in
-    let i = if i > hist_buckets then hist_buckets else i in
-    h.h_bucket.(i) <- h.h_bucket.(i) + 1
-  end
-
-let hist_count h = h.h_count
-let hist_sum h = h.h_sum
-
-let meta key v = metadata := (key, v) :: List.remove_assoc key !metadata
-
-let reset () =
-  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters;
-  Hashtbl.iter
-    (fun _ s ->
-      s.s_count <- 0;
-      s.s_total <- 0.0;
-      s.s_max <- 0.0)
-    spans;
-  Hashtbl.iter
-    (fun _ h ->
-      h.h_count <- 0;
-      h.h_sum <- 0;
-      h.h_min <- max_int;
-      h.h_max <- 0;
-      Array.fill h.h_bucket 0 (Array.length h.h_bucket) 0)
-    histograms;
-  metadata := []
-
-let sorted_fields tbl keep entry =
-  Hashtbl.fold (fun name m acc -> if keep m then (name, entry m) :: acc else acc) tbl []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
-
-let bucket_bounds i = if i = 0 then (0, 0) else (1 lsl (i - 1), (1 lsl i) - 1)
-
-let hist_json h =
-  let buckets =
-    Array.to_list h.h_bucket
-    |> List.mapi (fun i count -> (i, count))
-    |> List.filter (fun (_, count) -> count > 0)
-    |> List.map (fun (i, count) ->
-           let lo, hi = bucket_bounds i in
-           Json.Obj [ ("lo", Json.Int lo); ("hi", Json.Int hi); ("count", Json.Int count) ])
-  in
-  Json.Obj
-    [
-      ("count", Json.Int h.h_count);
-      ("sum", Json.Int h.h_sum);
-      ("min", Json.Int (if h.h_count = 0 then 0 else h.h_min));
-      ("max", Json.Int h.h_max);
-      ("buckets", Json.List buckets);
-    ]
-
-let span_json s =
-  Json.Obj
-    [
-      ("count", Json.Int s.s_count);
-      ("seconds", Json.Float s.s_total);
-      ("max_seconds", Json.Float s.s_max);
-    ]
-
-let report () =
-  Json.Obj
-    [
-      ("schema_version", Json.Int 1);
-      ( "meta",
-        Json.Obj
-          (List.sort compare (List.map (fun (k, v) -> (k, Json.String v)) !metadata)) );
-      (* every registered counter, zero or not: consumers diff reports and
-         rely on e.g. sweep.merge.sat being present even when the SAT
-         engine never fired on an easy model *)
-      ("counters", Json.Obj (sorted_fields counters (fun _ -> true) (fun c -> Json.Int c.c_value)));
-      ("spans", Json.Obj (sorted_fields spans (fun s -> s.s_count <> 0) span_json));
-      ("histograms", Json.Obj (sorted_fields histograms (fun h -> h.h_count <> 0) hist_json));
-    ]
-
-let write_report path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      let ppf = Format.formatter_of_out_channel oc in
-      Format.fprintf ppf "%a@." Json.pp (report ()))
-
-let pp_summary ppf () =
-  let group name = match String.index_opt name '.' with Some i -> String.sub name 0 i | None -> name in
-  let groups = Hashtbl.create 8 in
-  let push name line =
-    let g = group name in
-    let existing = Option.value (Hashtbl.find_opt groups g) ~default:[] in
-    Hashtbl.replace groups g (line :: existing)
-  in
-  Hashtbl.iter
-    (fun name c -> if c.c_value <> 0 then push name (Printf.sprintf "%-36s %12d" name c.c_value))
-    counters;
-  Hashtbl.iter
-    (fun name s ->
-      if s.s_count <> 0 then
-        push name
-          (Printf.sprintf "%-36s %12d calls  %9.3fs total  %.3fs max" name s.s_count s.s_total
-             s.s_max))
-    spans;
-  Hashtbl.iter
-    (fun name h ->
-      if h.h_count <> 0 then
-        push name
-          (Printf.sprintf "%-36s %12d obs    sum=%d min=%d max=%d" name h.h_count h.h_sum h.h_min
-             h.h_max))
-    histograms;
-  let names = Hashtbl.fold (fun g _ acc -> g :: acc) groups [] |> List.sort compare in
-  Format.fprintf ppf "run telemetry:@.";
-  List.iter
-    (fun g ->
-      Format.fprintf ppf "  [%s]@." g;
-      List.iter (Format.fprintf ppf "    %s@.") (List.sort compare (Hashtbl.find groups g)))
-    names;
-  match !metadata with
-  | [] -> ()
-  | kvs ->
-    Format.fprintf ppf "  [meta]@.";
-    List.iter (fun (k, v) -> Format.fprintf ppf "    %-36s %s@." k v) (List.sort compare kvs)
+module Json = Json
+module Trace_events = Trace_events
+module Progress = Progress
+module Regress = Regress
+include Registry

@@ -1,6 +1,8 @@
-(** Unified telemetry: hierarchical named counters, monotonic spans and
-    histogram accumulators behind one global registry, with a
-    machine-readable JSON run report.
+(** Unified observability: hierarchical named counters, monotonic spans
+    and histogram accumulators behind one global registry with a
+    machine-readable JSON run report, plus structured timeline tracing
+    ({!Trace_events}), a live progress reporter ({!Progress}) and a
+    run-report regression differ ({!Regress}).
 
     Every subsystem registers its metrics once (at module initialisation)
     under dotted hierarchical names — ["sweep.merge.bdd"],
@@ -21,10 +23,11 @@
 (** {1 JSON}
 
     Zero-dependency JSON values, serializer and parser — enough to write
-    run reports and read them back in tests and table generators. *)
+    run reports and trace files and read them back in tests and table
+    generators. *)
 
 module Json : sig
-  type t =
+  type t = Json.t =
     | Null
     | Bool of bool
     | Int of int
@@ -43,6 +46,9 @@ module Json : sig
   (** Strict parser for the subset {!to_string} emits (standard JSON minus
       exotic escapes). [Error msg] carries a byte offset. *)
   val of_string : string -> (t, string) result
+
+  (** Read and parse a whole file. *)
+  val of_file : string -> (t, string) result
 
   (** [member key json] is the value under [key] of an object. *)
   val member : string -> t -> t option
@@ -132,9 +138,160 @@ val meta : string -> string -> unit
     the last {!reset} are omitted. *)
 val report : unit -> Json.t
 
-(** {!report} pretty-printed to a file. *)
+(** {!report} pretty-printed to a file. Missing parent directories of the
+    path are created. *)
 val write_report : string -> unit
 
 (** Human-readable roll-up of every non-zero metric, grouped by the first
     name segment. *)
 val pp_summary : Format.formatter -> unit -> unit
+
+(** {1 Timeline tracing}
+
+    Structured begin/end phase events, instant events and counter samples
+    in a growable ring buffer, exported as Chrome [trace_event] JSON
+    loadable by [chrome://tracing] and Perfetto. Guarded by its own flat
+    [enabled] flag with the same disabled-path contract as the metric
+    updates above: one load, one branch, no allocation. The trace-event
+    model and phase names are documented in [docs/OBSERVABILITY.md]. *)
+
+module Trace_events : sig
+  (** The recording guard; independent from the metric registry's. *)
+  val enabled : bool ref
+
+  (** Enabling (re)starts the trace clock. *)
+  val set_enabled : bool -> unit
+
+  (** Drop every recorded event and restart the clock. [?limit] also
+      changes the ring size (events retained before the oldest are
+      overwritten; default 65536, must be ≥ 2). *)
+  val reset : ?limit:int -> unit -> unit
+
+  val limit : unit -> int
+
+  (** Events recorded since the last reset, including overwritten ones. *)
+  val recorded : unit -> int
+
+  (** Events lost to ring wraparound ([recorded () - limit ()], min 0). *)
+  val dropped : unit -> int
+
+  (** Open / close a duration phase. The [_args] variants attach one
+      integer argument ([key], [value]) without allocating on the
+      disabled path. Phases nest; unbalanced pairs caused by ring
+      wraparound are repaired at export time. *)
+  val begin_ : string -> unit
+
+  val begin_args : string -> string -> int -> unit
+  val end_ : string -> unit
+  val end_args : string -> string -> int -> unit
+
+  (** A point-in-time marker (Chrome phase ['i']). *)
+  val instant : string -> unit
+
+  val instant_args : string -> string -> int -> unit
+
+  (** A counter sample (Chrome phase ['C']): the timeline view of a value
+      over the run, e.g. the frontier size per frame. *)
+  val sample : string -> int -> unit
+
+  (** [with_phase name f] wraps [f ()] in a begin/end pair (closed on
+      exceptions too). Allocates its closure even when disabled — prefer
+      explicit {!begin_}/{!end_} on hot paths. *)
+  val with_phase : string -> (unit -> 'a) -> 'a
+
+  type event = Trace_events.event = {
+    ev_name : string;
+    ev_ph : char;  (** ['B'] begin, ['E'] end, ['i'] instant, ['C'] counter *)
+    ev_ts : float;  (** microseconds since the trace epoch, non-decreasing *)
+    ev_arg_key : string;  (** [""] when the event carries no argument *)
+    ev_arg_value : int;
+  }
+
+  (** Oldest-first snapshot of the ring, raw (no balance repair). *)
+  val events : unit -> event list
+
+  (** The Chrome trace: [{"traceEvents": [...], "displayTimeUnit": "ms",
+      "otherData": {...}}], every event carrying [name]/[cat]/[ph]/[ts]/
+      [pid]/[tid]. Begin/end balance is repaired (orphaned ends dropped,
+      unclosed begins closed at the final timestamp). *)
+  val to_json : unit -> Json.t
+
+  (** {!to_json} pretty-printed to a file; parent directories are
+      created. *)
+  val write : string -> unit
+end
+
+(** {1 Live progress}
+
+    One stderr line per traversal frame — frame index, frontier AIG node
+    count, merges by provenance, elapsed time — rewritten in place on a
+    TTY. Reads the merge counters from the registry, so metric collection
+    must be enabled for the provenance columns to move. *)
+
+module Progress : sig
+  (** Arm the reporter (records the start time, detects whether
+      [channel] — default [stderr] — is a TTY). *)
+  val start : ?channel:out_channel -> unit -> unit
+
+  (** Notification from the traversal engines; a no-op unless armed. *)
+  val frame : index:int -> nodes:int -> unit
+
+  (** Terminate the in-place line and disarm. *)
+  val finish : unit -> unit
+end
+
+(** {1 Bench regression detection}
+
+    Diff two trees of JSON run reports (as written by
+    [bench --stats-dir=DIR]) and gate per-metric relative deltas, so CI
+    can fail a change that blows up a cost metric. Reports are paired by
+    file name; deterministic integer metrics (counters, span call counts,
+    histogram count/sum) gate on [threshold], wall-clock span seconds
+    only on an explicit [time_threshold]. The [cbq_bench_regress]
+    executable in [bench/] is the command-line front-end. *)
+
+module Regress : sig
+  type delta = Regress.delta = {
+    metric : string;
+        (** flattened name: ["counters.sweep.merge.sat"],
+            ["spans.sat.solve.seconds"], … *)
+    old_value : float;
+    new_value : float;
+    rel : float;  (** |new − old| / |old|; [infinity] when old = 0 *)
+    timing : bool;  (** span seconds: gated by [time_threshold] only *)
+  }
+
+  type pair = Regress.pair = { experiment : string; deltas : delta list }
+
+  type outcome = Regress.outcome = {
+    pairs : pair list;
+    only_old : string list;
+    only_new : string list;
+  }
+
+  (** Changed metrics between two parsed reports (a metric present on one
+      side only compares against 0). Sorted by metric name. *)
+  val compare_reports : Json.t -> Json.t -> delta list
+
+  (** Pair the [*.json] files of two directories by name and diff each
+      pair. *)
+  val diff_dirs : old_dir:string -> new_dir:string -> outcome
+
+  val exceeds : threshold:float -> time_threshold:float option -> delta -> bool
+
+  (** Every gated delta, tagged with its experiment. *)
+  val regressions :
+    threshold:float -> time_threshold:float option -> outcome -> (string * delta) list
+
+  (** [true] iff nothing gates and no experiment vanished from the old
+      tree (reports only present in the new tree are fine — coverage
+      grew). *)
+  val passes : threshold:float -> time_threshold:float option -> outcome -> bool
+
+  val pp_delta : Format.formatter -> delta -> unit
+
+  (** Human-readable listing of every changed metric, gated ones marked
+      with [!]. *)
+  val pp_outcome :
+    threshold:float -> time_threshold:float option -> Format.formatter -> outcome -> unit
+end

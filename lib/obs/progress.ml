@@ -1,0 +1,49 @@
+(* Live traversal progress on stderr: one line per reachability frame
+   with the frame index, the AIG node count of the frontier, the merge
+   counts by provenance (read from the registry, so collection must be
+   enabled) and the elapsed wall time. On a TTY the line is rewritten in
+   place; on a pipe each frame gets its own line.
+
+   The traversal engines notify through [frame]; like every other
+   recording entry point in [Obs], its disabled path (no [start] call)
+   is one load and a branch. *)
+
+let active = ref false
+let out = ref stderr
+let is_tty = ref false
+let watch = ref (Util.Stopwatch.start ())
+let last_width = ref 0
+
+let start ?(channel = stderr) () =
+  out := channel;
+  is_tty := (try Unix.isatty (Unix.descr_of_out_channel channel) with Unix.Unix_error _ -> false);
+  watch := Util.Stopwatch.start ();
+  last_width := 0;
+  active := true
+
+let render ~index ~nodes =
+  Printf.sprintf "frame %4d  frontier=%d nodes  merges hash=%d sim=%d bdd=%d sat=%d  %.1fs"
+    index nodes
+    (Registry.value_of "sweep.merge.hash")
+    (Registry.value_of "sweep.merge.sim")
+    (Registry.value_of "sweep.merge.bdd")
+    (Registry.value_of "sweep.merge.sat")
+    (Util.Stopwatch.elapsed !watch)
+
+let emit line =
+  if !is_tty then begin
+    (* pad with spaces so a shorter line fully overwrites the previous *)
+    let pad = max 0 (!last_width - String.length line) in
+    Printf.fprintf !out "\r%s%s%!" line (String.make pad ' ');
+    last_width := String.length line
+  end
+  else Printf.fprintf !out "%s\n%!" line
+
+let frame ~index ~nodes = if !active then emit (render ~index ~nodes)
+
+let finish () =
+  if !active then begin
+    if !is_tty && !last_width > 0 then Printf.fprintf !out "\n%!";
+    active := false;
+    last_width := 0
+  end

@@ -1,0 +1,224 @@
+(* The metric registry: counters, spans, histograms, run metadata and
+   the JSON run report. Process-global and single-threaded, like every
+   manager in this codebase. Handles are plain mutable records so the
+   enabled-path update is a load, an add and a store; the disabled path
+   is one load and a branch. [Obs] re-exports everything here. *)
+
+let enabled = ref false
+let set_enabled b = enabled := b
+
+type counter = { c_name : string; mutable c_value : int }
+
+type span = {
+  s_name : string;
+  mutable s_count : int;
+  mutable s_total : float;
+  mutable s_max : float;
+}
+
+let hist_buckets = 63
+
+type histogram = {
+  h_name : string;
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+  h_bucket : int array; (* index = bit length of the value *)
+}
+
+(* Registries keep insertion order irrelevant: reports sort by name. *)
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let spans : (string, span) Hashtbl.t = Hashtbl.create 16
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+let metadata : (string * string) list ref = ref []
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; c_value = 0 } in
+    Hashtbl.replace counters name c;
+    c
+
+let incr c = if !enabled then c.c_value <- c.c_value + 1
+let add c n = if !enabled then c.c_value <- c.c_value + n
+let value c = c.c_value
+let value_of name = match Hashtbl.find_opt counters name with Some c -> c.c_value | None -> 0
+
+let span name =
+  match Hashtbl.find_opt spans name with
+  | Some s -> s
+  | None ->
+    let s = { s_name = name; s_count = 0; s_total = 0.0; s_max = 0.0 } in
+    Hashtbl.replace spans name s;
+    s
+
+let record_span s dt =
+  s.s_count <- s.s_count + 1;
+  s.s_total <- s.s_total +. dt;
+  if dt > s.s_max then s.s_max <- dt
+
+let add_seconds s dt = if !enabled then record_span s dt
+
+let with_span s f =
+  if not !enabled then f ()
+  else begin
+    let watch = Util.Stopwatch.start () in
+    Fun.protect ~finally:(fun () -> record_span s (Util.Stopwatch.elapsed watch)) f
+  end
+
+let span_count s = s.s_count
+let span_seconds s = s.s_total
+
+let histogram name =
+  match Hashtbl.find_opt histograms name with
+  | Some h -> h
+  | None ->
+    let h =
+      {
+        h_name = name;
+        h_count = 0;
+        h_sum = 0;
+        h_min = max_int;
+        h_max = 0;
+        h_bucket = Array.make (hist_buckets + 1) 0;
+      }
+    in
+    Hashtbl.replace histograms name h;
+    h
+
+let bit_length v =
+  let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in
+  go 0 v
+
+let observe h v =
+  if !enabled then begin
+    let v = if v < 0 then 0 else v in
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum + v;
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v;
+    let i = bit_length v in
+    let i = if i > hist_buckets then hist_buckets else i in
+    h.h_bucket.(i) <- h.h_bucket.(i) + 1
+  end
+
+let hist_count h = h.h_count
+let hist_sum h = h.h_sum
+
+let meta key v = metadata := (key, v) :: List.remove_assoc key !metadata
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters;
+  Hashtbl.iter
+    (fun _ s ->
+      s.s_count <- 0;
+      s.s_total <- 0.0;
+      s.s_max <- 0.0)
+    spans;
+  Hashtbl.iter
+    (fun _ h ->
+      h.h_count <- 0;
+      h.h_sum <- 0;
+      h.h_min <- max_int;
+      h.h_max <- 0;
+      Array.fill h.h_bucket 0 (Array.length h.h_bucket) 0)
+    histograms;
+  metadata := []
+
+let sorted_fields tbl keep entry =
+  Hashtbl.fold (fun name m acc -> if keep m then (name, entry m) :: acc else acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let bucket_bounds i = if i = 0 then (0, 0) else (1 lsl (i - 1), (1 lsl i) - 1)
+
+let hist_json h =
+  let buckets =
+    Array.to_list h.h_bucket
+    |> List.mapi (fun i count -> (i, count))
+    |> List.filter (fun (_, count) -> count > 0)
+    |> List.map (fun (i, count) ->
+           let lo, hi = bucket_bounds i in
+           Json.Obj [ ("lo", Json.Int lo); ("hi", Json.Int hi); ("count", Json.Int count) ])
+  in
+  Json.Obj
+    [
+      ("count", Json.Int h.h_count);
+      ("sum", Json.Int h.h_sum);
+      ("min", Json.Int (if h.h_count = 0 then 0 else h.h_min));
+      ("max", Json.Int h.h_max);
+      ("buckets", Json.List buckets);
+    ]
+
+let span_json s =
+  Json.Obj
+    [
+      ("count", Json.Int s.s_count);
+      ("seconds", Json.Float s.s_total);
+      ("max_seconds", Json.Float s.s_max);
+    ]
+
+let report () =
+  Json.Obj
+    [
+      ("schema_version", Json.Int 1);
+      ( "meta",
+        Json.Obj
+          (List.sort compare (List.map (fun (k, v) -> (k, Json.String v)) !metadata)) );
+      (* every registered counter, zero or not: consumers diff reports and
+         rely on e.g. sweep.merge.sat being present even when the SAT
+         engine never fired on an easy model *)
+      ("counters", Json.Obj (sorted_fields counters (fun _ -> true) (fun c -> Json.Int c.c_value)));
+      ("spans", Json.Obj (sorted_fields spans (fun s -> s.s_count <> 0) span_json));
+      ("histograms", Json.Obj (sorted_fields histograms (fun h -> h.h_count <> 0) hist_json));
+    ]
+
+let write_report path =
+  (* a report path under a directory that does not exist yet is routine
+     (--stats-json out/run.json on a fresh checkout); create the parents *)
+  Util.Fs.ensure_parent path;
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let ppf = Format.formatter_of_out_channel oc in
+      Format.fprintf ppf "%a@." Json.pp (report ()))
+
+let pp_summary ppf () =
+  let group name = match String.index_opt name '.' with Some i -> String.sub name 0 i | None -> name in
+  let groups = Hashtbl.create 8 in
+  let push name line =
+    let g = group name in
+    let existing = Option.value (Hashtbl.find_opt groups g) ~default:[] in
+    Hashtbl.replace groups g (line :: existing)
+  in
+  Hashtbl.iter
+    (fun name c -> if c.c_value <> 0 then push name (Printf.sprintf "%-36s %12d" name c.c_value))
+    counters;
+  Hashtbl.iter
+    (fun name s ->
+      if s.s_count <> 0 then
+        push name
+          (Printf.sprintf "%-36s %12d calls  %9.3fs total  %.3fs max" name s.s_count s.s_total
+             s.s_max))
+    spans;
+  Hashtbl.iter
+    (fun name h ->
+      if h.h_count <> 0 then
+        push name
+          (Printf.sprintf "%-36s %12d obs    sum=%d min=%d max=%d" name h.h_count h.h_sum h.h_min
+             h.h_max))
+    histograms;
+  let names = Hashtbl.fold (fun g _ acc -> g :: acc) groups [] |> List.sort compare in
+  Format.fprintf ppf "run telemetry:@.";
+  List.iter
+    (fun g ->
+      Format.fprintf ppf "  [%s]@." g;
+      List.iter (Format.fprintf ppf "    %s@.") (List.sort compare (Hashtbl.find groups g)))
+    names;
+  match !metadata with
+  | [] -> ()
+  | kvs ->
+    Format.fprintf ppf "  [meta]@.";
+    List.iter (fun (k, v) -> Format.fprintf ppf "    %-36s %s@." k v) (List.sort compare kvs)

@@ -1,0 +1,168 @@
+(* Bench regression detection: diff two trees of JSON run reports (as
+   written by `bench --stats-dir=DIR`, one numbered report per
+   experiment row) and gate the deltas on a relative threshold, so CI
+   can fail a PR that blows up a cost metric.
+
+   Reports are paired by file name. Per pair, the comparable metrics
+   are the counters, span call counts and histogram count/sum — the
+   deterministic integers of a seeded run — plus span seconds, which
+   are wall-clock noise and therefore only gated when an explicit time
+   threshold is given. The gate is symmetric (a 10x drop in SAT calls
+   deserves a look as much as a 10x rise); regenerate the baseline to
+   acknowledge an intended change. *)
+
+type delta = {
+  metric : string; (* e.g. "counters.sweep.merge.sat", "spans.sat.solve.seconds" *)
+  old_value : float;
+  new_value : float;
+  rel : float; (* |new - old| / old; infinity when old = 0 and new <> 0 *)
+  timing : bool; (* true for span seconds: gated by the time threshold *)
+}
+
+type pair = { experiment : string; deltas : delta list }
+
+type outcome = {
+  pairs : pair list;
+  only_old : string list; (* experiments present only in the old tree *)
+  only_new : string list; (* experiments present only in the new tree *)
+}
+
+let rel_delta o n =
+  if o = n then 0.0
+  else if o = 0.0 then infinity
+  else Float.abs (n -. o) /. Float.abs o
+
+let number = function
+  | Json.Int i -> Some (float_of_int i)
+  | Json.Float f -> Some f
+  | _ -> None
+
+(* flatten one report into (metric, value, timing) triples *)
+let metrics_of_report json =
+  let acc = ref [] in
+  let push metric v timing = acc := (metric, v, timing) :: !acc in
+  let obj key = match Json.member key json with Some (Json.Obj fields) -> fields | _ -> [] in
+  List.iter
+    (fun (name, v) ->
+      match number v with Some f -> push ("counters." ^ name) f false | None -> ())
+    (obj "counters");
+  List.iter
+    (fun (name, v) ->
+      (match Option.bind (Json.member "count" v) number with
+      | Some f -> push ("spans." ^ name ^ ".count") f false
+      | None -> ());
+      match Option.bind (Json.member "seconds" v) number with
+      | Some f -> push ("spans." ^ name ^ ".seconds") f true
+      | None -> ())
+    (obj "spans");
+  List.iter
+    (fun (name, v) ->
+      (match Option.bind (Json.member "count" v) number with
+      | Some f -> push ("histograms." ^ name ^ ".count") f false
+      | None -> ());
+      match Option.bind (Json.member "sum" v) number with
+      | Some f -> push ("histograms." ^ name ^ ".sum") f false
+      | None -> ())
+    (obj "histograms");
+  List.rev !acc
+
+(* Deltas between two reports, changed metrics only. A metric present on
+   one side only compares against 0 — spans and histograms are omitted
+   from a report when never recorded into. *)
+let compare_reports old_json new_json =
+  let old_metrics = metrics_of_report old_json in
+  let new_metrics = metrics_of_report new_json in
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (m, v, timing) -> Hashtbl.replace tbl m (v, 0.0, timing))
+    old_metrics;
+  List.iter
+    (fun (m, v, timing) ->
+      match Hashtbl.find_opt tbl m with
+      | Some (o, _, t) -> Hashtbl.replace tbl m (o, v, t || timing)
+      | None -> Hashtbl.replace tbl m (0.0, v, timing))
+    new_metrics;
+  Hashtbl.fold
+    (fun metric (o, n, timing) acc ->
+      if o = n then acc
+      else { metric; old_value = o; new_value = n; rel = rel_delta o n; timing } :: acc)
+    tbl []
+  |> List.sort (fun a b -> compare a.metric b.metric)
+
+let json_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".json")
+  |> List.sort compare
+
+let diff_dirs ~old_dir ~new_dir =
+  let old_files = json_files old_dir and new_files = json_files new_dir in
+  let load dir f =
+    match Json.of_file (Filename.concat dir f) with
+    | Ok json -> json
+    | Error msg -> raise (Sys_error (Printf.sprintf "%s/%s: %s" dir f msg))
+  in
+  let pairs =
+    List.filter_map
+      (fun f ->
+        if List.mem f new_files then
+          Some
+            {
+              experiment = Filename.remove_extension f;
+              deltas = compare_reports (load old_dir f) (load new_dir f);
+            }
+        else None)
+      old_files
+  in
+  {
+    pairs;
+    only_old =
+      List.filter_map
+        (fun f -> if List.mem f new_files then None else Some (Filename.remove_extension f))
+        old_files;
+    only_new =
+      List.filter_map
+        (fun f -> if List.mem f old_files then None else Some (Filename.remove_extension f))
+        new_files;
+  }
+
+(* the gate: timing metrics use [time_threshold] (None = never gated),
+   everything else uses [threshold] *)
+let exceeds ~threshold ~time_threshold d =
+  if d.timing then match time_threshold with None -> false | Some t -> d.rel > t
+  else d.rel > threshold
+
+let regressions ~threshold ~time_threshold outcome =
+  List.concat_map
+    (fun p ->
+      List.filter_map
+        (fun d ->
+          if exceeds ~threshold ~time_threshold d then Some (p.experiment, d) else None)
+        p.deltas)
+    outcome.pairs
+
+(* pass = no gated delta and no experiment lost from the old tree;
+   reports only present in the new tree are fine (coverage grew) *)
+let passes ~threshold ~time_threshold outcome =
+  outcome.only_old = [] && regressions ~threshold ~time_threshold outcome = []
+
+let pp_delta ppf d =
+  let pct = if Float.is_integer (d.rel *. 100.0) then "%.0f%%" else "%.1f%%" in
+  Format.fprintf ppf "%-44s %14g -> %-14g %s" d.metric d.old_value d.new_value
+    (if d.rel = infinity then "(new)" else Printf.sprintf (Scanf.format_from_string pct "%f") (d.rel *. 100.0))
+
+let pp_outcome ~threshold ~time_threshold ppf outcome =
+  List.iter
+    (fun p ->
+      match p.deltas with
+      | [] -> ()
+      | ds ->
+        Format.fprintf ppf "%s:@." p.experiment;
+        List.iter
+          (fun d ->
+            Format.fprintf ppf "  %s%a@."
+              (if exceeds ~threshold ~time_threshold d then "! " else "  ")
+              pp_delta d)
+          ds)
+    outcome.pairs;
+  List.iter (Format.fprintf ppf "missing from new tree: %s@.") outcome.only_old;
+  List.iter (Format.fprintf ppf "only in new tree: %s@.") outcome.only_new

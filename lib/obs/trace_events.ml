@@ -1,0 +1,222 @@
+(* Structured event tracing: a growable ring buffer of begin/end phase
+   events, instant events and counter samples, exported as Chrome
+   trace_event JSON (chrome://tracing, Perfetto). Complements the
+   aggregate counters of [Registry]: aggregates answer "how much",
+   the timeline answers "when".
+
+   Overhead contract (mirrors the registry's): the disabled path of
+   every recording entry point is one load of [enabled] and a branch —
+   no allocation, so the recording calls may sit on hot paths (the SAT
+   solve wrapper, per-variable quantification). The enabled path stores
+   five fields into preallocated parallel arrays; the only allocation
+   is the occasional geometric growth of those arrays, and none at all
+   once the buffer has reached its size limit and wraps.
+
+   The buffer keeps the NEWEST events: once [limit] events have been
+   recorded the ring overwrites the oldest. Begin/end pairs broken by
+   the overwrite are repaired at export time (orphaned ends are dropped,
+   unclosed begins are closed at the final timestamp), so the emitted
+   JSON always nests properly. *)
+
+let enabled = ref false
+
+type event = {
+  ev_name : string;
+  ev_ph : char; (* 'B' begin | 'E' end | 'i' instant | 'C' counter sample *)
+  ev_ts : float; (* microseconds since the trace epoch, non-decreasing *)
+  ev_arg_key : string; (* "" when the event carries no argument *)
+  ev_arg_value : int;
+}
+
+let default_limit = 1 lsl 16
+let initial_capacity = 1024
+
+(* parallel arrays: one record-free slot per event *)
+let names = ref (Array.make 0 "")
+let phs = ref (Bytes.create 0)
+let tss = ref (Array.make 0 0.0)
+let arg_keys = ref (Array.make 0 "")
+let arg_vals = ref (Array.make 0 0)
+let capacity = ref 0
+let size_limit = ref default_limit
+let total = ref 0 (* events ever recorded since the last reset *)
+let epoch = ref (Util.Stopwatch.start ())
+let last_ts = ref 0.0
+
+let reset ?limit () =
+  (match limit with
+  | Some l ->
+    if l < 2 then invalid_arg "Trace_events.reset: limit must be >= 2";
+    size_limit := l
+  | None -> ());
+  names := Array.make 0 "";
+  phs := Bytes.create 0;
+  tss := Array.make 0 0.0;
+  arg_keys := Array.make 0 "";
+  arg_vals := Array.make 0 0;
+  capacity := 0;
+  total := 0;
+  epoch := Util.Stopwatch.start ();
+  last_ts := 0.0
+
+let set_enabled b =
+  if b && not !enabled then epoch := Util.Stopwatch.start ();
+  enabled := b
+
+let limit () = !size_limit
+let recorded () = !total
+let dropped () = if !total > !size_limit then !total - !size_limit else 0
+
+let grow () =
+  let new_cap =
+    if !capacity = 0 then min initial_capacity !size_limit
+    else min (!capacity * 2) !size_limit
+  in
+  let copy make blit old =
+    let fresh = make new_cap in
+    blit old fresh !capacity;
+    fresh
+  in
+  names :=
+    copy (fun n -> Array.make n "") (fun o f n -> Array.blit o 0 f 0 n) !names;
+  phs := copy Bytes.create (fun o f n -> Bytes.blit o 0 f 0 n) !phs;
+  tss := copy (fun n -> Array.make n 0.0) (fun o f n -> Array.blit o 0 f 0 n) !tss;
+  arg_keys :=
+    copy (fun n -> Array.make n "") (fun o f n -> Array.blit o 0 f 0 n) !arg_keys;
+  arg_vals :=
+    copy (fun n -> Array.make n 0) (fun o f n -> Array.blit o 0 f 0 n) !arg_vals;
+  capacity := new_cap
+
+let now_us () =
+  let t = Util.Stopwatch.elapsed !epoch *. 1e6 in
+  (* gettimeofday is not monotonic; the trace format requires
+     non-decreasing timestamps, so clamp *)
+  let t = if t < !last_ts then !last_ts else t in
+  last_ts := t;
+  t
+
+(* the unguarded recorder: every public entry point checks [enabled]
+   before calling, keeping the disabled path allocation-free *)
+let record name ph key v =
+  if !total >= !capacity && !capacity < !size_limit then grow ();
+  let i = !total mod !size_limit in
+  !names.(i) <- name;
+  Bytes.set !phs i ph;
+  !tss.(i) <- now_us ();
+  !arg_keys.(i) <- key;
+  !arg_vals.(i) <- v;
+  total := !total + 1
+
+let begin_ name = if !enabled then record name 'B' "" 0
+let begin_args name key v = if !enabled then record name 'B' key v
+let end_ name = if !enabled then record name 'E' "" 0
+let end_args name key v = if !enabled then record name 'E' key v
+let instant name = if !enabled then record name 'i' "" 0
+let instant_args name key v = if !enabled then record name 'i' key v
+let sample name v = if !enabled then record name 'C' "value" v
+
+let with_phase name f =
+  if not !enabled then f ()
+  else begin
+    record name 'B' "" 0;
+    Fun.protect ~finally:(fun () -> end_ name) f
+  end
+
+let retained () = min !total !size_limit
+
+(* oldest-first snapshot of the ring *)
+let events () =
+  let n = retained () in
+  let first = if !total <= !size_limit then 0 else !total mod !size_limit in
+  List.init n (fun k ->
+      let i = (first + k) mod !size_limit in
+      {
+        ev_name = !names.(i);
+        ev_ph = Bytes.get !phs i;
+        ev_ts = !tss.(i);
+        ev_arg_key = !arg_keys.(i);
+        ev_arg_value = !arg_vals.(i);
+      })
+
+let category name =
+  match String.index_opt name '.' with Some i -> String.sub name 0 i | None -> name
+
+let event_json e =
+  let base =
+    [
+      ("name", Json.String e.ev_name);
+      ("cat", Json.String (category e.ev_name));
+      ("ph", Json.String (String.make 1 e.ev_ph));
+      ("ts", Json.Float e.ev_ts);
+      ("pid", Json.Int 1);
+      ("tid", Json.Int 1);
+    ]
+  in
+  let base = if e.ev_ph = 'i' then base @ [ ("s", Json.String "t") ] else base in
+  let base =
+    if e.ev_arg_key = "" && e.ev_ph <> 'C' then base
+    else
+      base
+      @ [
+          ( "args",
+            Json.Obj
+              [
+                ( (if e.ev_arg_key = "" then "value" else e.ev_arg_key),
+                  Json.Int e.ev_arg_value );
+              ] );
+        ]
+  in
+  Json.Obj base
+
+(* Ring wraparound can orphan duration events: an 'E' whose 'B' was
+   overwritten, or a 'B' whose 'E' was never recorded (exporting
+   mid-run). Repair instead of emitting broken nesting: orphaned ends
+   are dropped, unclosed begins are closed at the last timestamp. *)
+let balanced_events () =
+  let evs = events () in
+  let stack = ref [] in
+  let keep =
+    List.filter
+      (fun e ->
+        match e.ev_ph with
+        | 'B' ->
+          stack := e :: !stack;
+          true
+        | 'E' -> (
+          match !stack with
+          | _ :: rest ->
+            stack := rest;
+            true
+          | [] -> false)
+        | _ -> true)
+      evs
+  in
+  let final_ts = !last_ts in
+  let closers =
+    List.map
+      (fun b -> { b with ev_ph = 'E'; ev_ts = final_ts; ev_arg_key = ""; ev_arg_value = 0 })
+      !stack
+  in
+  keep @ closers
+
+let to_json () =
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map event_json (balanced_events ())));
+      ("displayTimeUnit", Json.String "ms");
+      ( "otherData",
+        Json.Obj
+          [
+            ("recorded", Json.Int (recorded ()));
+            ("dropped", Json.Int (dropped ()));
+          ] );
+    ]
+
+let write path =
+  Util.Fs.ensure_parent path;
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let ppf = Format.formatter_of_out_channel oc in
+      Format.fprintf ppf "%a@." Json.pp (to_json ()))

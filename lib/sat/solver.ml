@@ -623,12 +623,17 @@ let solve_raw ?(assumptions = []) ?(conflict_limit = max_int) t =
   end
 
 let solve ?assumptions ?conflict_limit t =
-  if not !Obs.enabled then solve_raw ?assumptions ?conflict_limit t
+  (* both observability paths share one wrapper; the plain call stays a
+     two-flag check away so uninstrumented runs pay nothing *)
+  if not (!Obs.enabled || !Obs.Trace_events.enabled) then
+    solve_raw ?assumptions ?conflict_limit t
   else begin
     let d0 = t.decisions and p0 = t.propagations and c0 = t.conflicts and r0 = t.restarts in
+    Obs.Trace_events.begin_ "sat.solve";
     let watch = Util.Stopwatch.start () in
     let result = solve_raw ?assumptions ?conflict_limit t in
     Obs.add_seconds obs_solve_span (Util.Stopwatch.elapsed watch);
+    Obs.Trace_events.end_args "sat.solve" "conflicts" (t.conflicts - c0);
     Obs.incr obs_solve_calls;
     Obs.add obs_decisions (t.decisions - d0);
     Obs.add obs_propagations (t.propagations - p0);

@@ -90,8 +90,11 @@ let run ?(config = default) aig checker ~prng ~roots =
   let strash_before = (Aig.stats aig).Aig.strash_hits in
   let mm = Merge_map.create () in
   let cone_size = Aig.size_list aig roots in
+  Obs.Trace_events.begin_args "sweep.run" "cone_size" cone_size;
   (* stage 2: simulation candidates *)
+  Obs.Trace_events.begin_ "sweep.sim";
   let sim = Sim.create aig ~roots ~rounds:config.sim_rounds ~prng in
+  Obs.Trace_events.end_ "sweep.sim";
   let initial_classes = Sim.classes sim in
   let candidate_classes = List.length initial_classes in
   let candidate_literals = List.fold_left (fun acc c -> acc + List.length c) 0 initial_classes in
@@ -99,8 +102,11 @@ let run ?(config = default) aig checker ~prng ~roots =
   let bdd_merges, bdd_aborted =
     if config.bdd_node_limit <= 0 then (0, false)
     else begin
+      Obs.Trace_events.begin_ "sweep.bdd";
       let res = Bdd_sweep.run aig ~roots ~max_nodes:config.bdd_node_limit in
       List.iter (fun (n, rep) -> Merge_map.union mm (Aig.lit_of_node n) rep) res.merges;
+      if res.aborted then Obs.Trace_events.instant "sweep.bdd.abort";
+      Obs.Trace_events.end_args "sweep.bdd" "merges" (List.length res.merges);
       (List.length res.merges, res.aborted)
     end
   in
@@ -113,6 +119,7 @@ let run ?(config = default) aig checker ~prng ~roots =
   (match config.sat with
   | None -> ()
   | Some direction ->
+    Obs.Trace_events.begin_ "sweep.sat";
     Obs.incr (match direction with Forward -> obs_forward_runs | Backward -> obs_backward_runs);
     Cnf.Checker.set_conflict_limit checker config.sat_conflict_limit;
     let hard : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
@@ -180,7 +187,8 @@ let run ?(config = default) aig checker ~prng ~roots =
           end
       in
       process pairs
-    done);
+    done;
+    Obs.Trace_events.end_args "sweep.sat" "merges" !sat_merges);
   let report =
     {
       cone_size;
@@ -210,6 +218,7 @@ let run ?(config = default) aig checker ~prng ~roots =
   Obs.add obs_sat_unknown report.sat_unknown;
   Obs.add obs_sat_skipped report.sat_skipped_covered;
   Obs.add obs_refinements report.sim_refinements;
+  Obs.Trace_events.end_args "sweep.run" "total_merges" report.total_merges;
   (Merge_map.find mm, report)
 
 let sweep_lits ?config aig checker ~prng lits =

@@ -187,6 +187,7 @@ let simplify_under_care ?(config = default) aig checker ~prng ~care f =
 
 let disjunction ?(config = default) aig checker ~prng f0 f1 =
   Obs.with_span obs_span @@ fun () ->
+  Obs.Trace_events.begin_ "dontcare.disjunction";
   let queries0 = Cnf.Checker.queries checker in
   let plain = Aig.or_ aig f0 f1 in
   let size_before = Aig.size aig plain in
@@ -201,8 +202,10 @@ let disjunction ?(config = default) aig checker ~prng f0 f1 =
       size_after = Aig.size aig g;
     }
   in
-  if Aig.is_const plain || Aig.is_const f0 || Aig.is_const f1 then
+  if Aig.is_const plain || Aig.is_const f0 || Aig.is_const f1 then begin
+    Obs.Trace_events.end_args "dontcare.disjunction" "size_after" size_before;
     (plain, finish plain 0 0 0 0)
+  end
   else begin
     let f1', c1, m1 =
       input_dc_pass aig checker ~prng ~config ~care:(Aig.not_ f0) ~target:f1
@@ -216,5 +219,6 @@ let disjunction ?(config = default) aig checker ~prng f0 f1 =
     (* never ship a result worse than the untransformed disjunction *)
     let g = if Aig.size aig g <= size_before then g else plain in
     let g, odc_a, odc_r = odc_pass aig checker ~prng ~config g in
+    Obs.Trace_events.end_args "dontcare.disjunction" "size_after" (Aig.size aig g);
     (g, finish g odc_a odc_r (c0 + c1) (m0 + m1))
   end

@@ -1,0 +1,14 @@
+let rec mkdirs dir =
+  if dir = "" || dir = "." || dir = Filename.dir_sep then ()
+  else if Sys.file_exists dir then begin
+    if not (Sys.is_directory dir) then
+      raise (Sys_error (dir ^ ": exists but is not a directory"))
+  end
+  else begin
+    mkdirs (Filename.dirname dir);
+    (* tolerate a concurrent creator: only re-raise when the directory
+       still does not exist *)
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.is_directory dir -> ()
+  end
+
+let ensure_parent path = mkdirs (Filename.dirname path)

@@ -1,0 +1,12 @@
+(** Minimal filesystem helpers for the reporting tools. *)
+
+(** [mkdirs dir] creates [dir] and every missing ancestor (like
+    [mkdir -p]). Existing directories are fine; a path component that
+    exists but is not a directory raises [Sys_error]. [""] and ["."]
+    are no-ops. *)
+val mkdirs : string -> unit
+
+(** [ensure_parent path] creates the parent directory of [path] so a
+    subsequent [open_out path] cannot fail with a missing-directory
+    [Sys_error]. *)
+val ensure_parent : string -> unit

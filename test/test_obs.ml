@@ -246,6 +246,30 @@ let test_traversal_provenance () =
   nonzero "sat.solve_calls";
   nonzero "aig.strash_hits"
 
+let test_bench_row_isolation () =
+  (* the bench harness pattern: one telemetry window per experiment row,
+     reset between rows so no counts leak from row 1 into row 2's report *)
+  with_obs false @@ fun () ->
+  let row bits =
+    Obs.reset ();
+    Obs.set_enabled true;
+    let model = Circuits.Families.counter ~bits in
+    let config = { Cbq.Reachability.default with make_trace = false } in
+    ignore (Cbq.Reachability.run ~config model);
+    Obs.set_enabled false;
+    let iterations = Obs.value_of "reach.iterations" in
+    let json = Obs.report () in
+    Obs.reset ();
+    (iterations, json)
+  in
+  let iters1, _ = row 4 in
+  let iters2, report2 = row 3 in
+  check bool "rows differ in work" true (iters1 <> iters2);
+  (match Option.bind (Obs.Json.member "counters" report2) (Obs.Json.member "reach.iterations") with
+  | Some (Obs.Json.Int n) -> check int "row 2's report reflects only row 2" iters2 n
+  | _ -> Alcotest.fail "reach.iterations missing from the report");
+  check int "registry clean after the last reset" 0 (Obs.value_of "reach.iterations")
+
 let test_disabled_traversal_is_silent () =
   with_obs false @@ fun () ->
   let model = Circuits.Families.counter ~bits:3 in
@@ -294,5 +318,6 @@ let () =
             test_traversal_provenance;
           Alcotest.test_case "disabled run stays silent" `Quick
             test_disabled_traversal_is_silent;
+          Alcotest.test_case "bench rows are isolated" `Quick test_bench_row_isolation;
         ] );
     ]

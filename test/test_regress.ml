@@ -1,0 +1,191 @@
+(* Bench regression detection: report flattening, delta gating semantics
+   (symmetric relative threshold, timings gated separately), directory
+   pairing, and the pass/fail verdict the cbq-bench-regress executable
+   turns into its exit status. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let string = Alcotest.string
+
+let report ?(counters = []) ?(spans = []) ?(histograms = []) () =
+  let open Obs.Json in
+  Obj
+    [
+      ("schema_version", Int 1);
+      ("counters", Obj (List.map (fun (n, v) -> (n, Int v)) counters));
+      ( "spans",
+        Obj
+          (List.map
+             (fun (n, count, seconds) ->
+               (n, Obj [ ("count", Int count); ("seconds", Float seconds) ]))
+             spans) );
+      ( "histograms",
+        Obj
+          (List.map
+             (fun (n, count, sum) -> (n, Obj [ ("count", Int count); ("sum", Int sum) ]))
+             histograms) );
+    ]
+
+(* ---------- compare_reports ---------- *)
+
+let test_identical_reports () =
+  let r =
+    report
+      ~counters:[ ("sweep.merge.sat", 12) ]
+      ~spans:[ ("sat.solve", 5, 0.25) ]
+      ~histograms:[ ("sweep.cone_size", 3, 90) ]
+      ()
+  in
+  check int "no deltas between identical reports" 0
+    (List.length (Obs.Regress.compare_reports r r))
+
+let test_changed_metrics_only () =
+  let old_r = report ~counters:[ ("a", 10); ("b", 5) ] () in
+  let new_r = report ~counters:[ ("a", 10); ("b", 6) ] () in
+  match Obs.Regress.compare_reports old_r new_r with
+  | [ d ] ->
+    check string "only the changed counter" "counters.b" d.Obs.Regress.metric;
+    check bool "relative delta" true (Float.abs (d.Obs.Regress.rel -. 0.2) < 1e-9);
+    check bool "counters are not timings" false d.Obs.Regress.timing
+  | ds -> Alcotest.failf "expected 1 delta, got %d" (List.length ds)
+
+let test_one_sided_metric_compares_to_zero () =
+  let old_r = report () in
+  let new_r = report ~spans:[ ("sat.solve", 4, 0.5) ] () in
+  let ds = Obs.Regress.compare_reports old_r new_r in
+  let find m = List.find (fun d -> d.Obs.Regress.metric = m) ds in
+  let count = find "spans.sat.solve.count" in
+  check bool "new-only metric is an infinite rise" true (count.Obs.Regress.rel = infinity);
+  check bool "span seconds flagged as timing" true
+    (find "spans.sat.solve.seconds").Obs.Regress.timing;
+  check bool "span count is deterministic" false count.Obs.Regress.timing
+
+let test_gate_is_symmetric () =
+  let old_r = report ~counters:[ ("a", 100) ] () in
+  let new_r = report ~counters:[ ("a", 10) ] () in
+  match Obs.Regress.compare_reports old_r new_r with
+  | [ d ] ->
+    check bool "drops gate too" true
+      (Obs.Regress.exceeds ~threshold:0.1 ~time_threshold:None d)
+  | ds -> Alcotest.failf "expected 1 delta, got %d" (List.length ds)
+
+let test_timing_gated_separately () =
+  let old_r = report ~spans:[ ("sat.solve", 5, 0.1) ] () in
+  let new_r = report ~spans:[ ("sat.solve", 5, 0.4) ] () in
+  match Obs.Regress.compare_reports old_r new_r with
+  | [ d ] ->
+    check bool "timing ignored without a time threshold" false
+      (Obs.Regress.exceeds ~threshold:0.1 ~time_threshold:None d);
+    check bool "timing gated when asked" true
+      (Obs.Regress.exceeds ~threshold:0.1 ~time_threshold:(Some 1.0) d)
+  | ds -> Alcotest.failf "expected 1 delta, got %d" (List.length ds)
+
+(* ---------- diff_dirs / passes ---------- *)
+
+let temp_dir () =
+  let path = Filename.temp_file "cbq_regress" "" in
+  Sys.remove path;
+  Util.Fs.mkdirs path;
+  path
+
+let rm_rf dir =
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
+let write_json dir name json =
+  let oc = open_out (Filename.concat dir name) in
+  output_string oc (Obs.Json.to_string json);
+  close_out oc
+
+let with_two_dirs f =
+  let old_dir = temp_dir () and new_dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf old_dir; rm_rf new_dir) (fun () -> f old_dir new_dir)
+
+let test_self_diff_passes () =
+  with_two_dirs @@ fun old_dir new_dir ->
+  let r = report ~counters:[ ("a", 3) ] ~spans:[ ("s", 2, 0.1) ] () in
+  write_json old_dir "001-row.json" r;
+  write_json new_dir "001-row.json" r;
+  let outcome = Obs.Regress.diff_dirs ~old_dir ~new_dir in
+  check bool "identical trees pass" true
+    (Obs.Regress.passes ~threshold:0.1 ~time_threshold:(Some 0.0) outcome)
+
+let test_regression_fails () =
+  with_two_dirs @@ fun old_dir new_dir ->
+  write_json old_dir "001-row.json" (report ~counters:[ ("sat.calls", 100) ] ());
+  write_json new_dir "001-row.json" (report ~counters:[ ("sat.calls", 300) ] ());
+  let outcome = Obs.Regress.diff_dirs ~old_dir ~new_dir in
+  check bool "200% rise fails a 10% gate" false
+    (Obs.Regress.passes ~threshold:0.1 ~time_threshold:None outcome);
+  check int "one gated delta" 1
+    (List.length (Obs.Regress.regressions ~threshold:0.1 ~time_threshold:None outcome));
+  check bool "a loose gate lets it through" true
+    (Obs.Regress.passes ~threshold:5.0 ~time_threshold:None outcome)
+
+let test_missing_experiment_fails () =
+  with_two_dirs @@ fun old_dir new_dir ->
+  write_json old_dir "001-row.json" (report ~counters:[ ("a", 1) ] ());
+  write_json old_dir "002-row.json" (report ~counters:[ ("a", 1) ] ());
+  write_json new_dir "001-row.json" (report ~counters:[ ("a", 1) ] ());
+  let outcome = Obs.Regress.diff_dirs ~old_dir ~new_dir in
+  check (Alcotest.list string) "the lost row is named" [ "002-row" ]
+    outcome.Obs.Regress.only_old;
+  check bool "a lost experiment fails" false
+    (Obs.Regress.passes ~threshold:0.1 ~time_threshold:None outcome)
+
+let test_new_experiment_passes () =
+  with_two_dirs @@ fun old_dir new_dir ->
+  write_json old_dir "001-row.json" (report ~counters:[ ("a", 1) ] ());
+  write_json new_dir "001-row.json" (report ~counters:[ ("a", 1) ] ());
+  write_json new_dir "002-row.json" (report ~counters:[ ("a", 1) ] ());
+  let outcome = Obs.Regress.diff_dirs ~old_dir ~new_dir in
+  check (Alcotest.list string) "the extra row is named" [ "002-row" ]
+    outcome.Obs.Regress.only_new;
+  check bool "grown coverage passes" true
+    (Obs.Regress.passes ~threshold:0.1 ~time_threshold:None outcome)
+
+(* ---------- end to end through the registry ---------- *)
+
+let test_real_reports_round_trip () =
+  (* the differ consumes what Obs.write_report produces: two identical
+     deterministic runs must diff clean apart from timings *)
+  with_two_dirs @@ fun old_dir new_dir ->
+  let run dir =
+    Obs.reset ();
+    Obs.set_enabled true;
+    let model, _ = Circuits.Registry.build "counter" (Some 3) in
+    ignore (Cbq.Reachability.run ~config:{ Cbq.Reachability.default with make_trace = false } model);
+    Obs.set_enabled false;
+    Obs.write_report (Filename.concat dir "001-counter3.json");
+    Obs.reset ()
+  in
+  run old_dir;
+  run new_dir;
+  let outcome = Obs.Regress.diff_dirs ~old_dir ~new_dir in
+  check int "one pair compared" 1 (List.length outcome.Obs.Regress.pairs);
+  check bool "seeded run is deterministic modulo time" true
+    (Obs.Regress.passes ~threshold:0.0 ~time_threshold:None outcome)
+
+let () =
+  Alcotest.run "regress"
+    [
+      ( "compare",
+        [
+          Alcotest.test_case "identical reports" `Quick test_identical_reports;
+          Alcotest.test_case "changed metrics only" `Quick test_changed_metrics_only;
+          Alcotest.test_case "one-sided metric vs zero" `Quick
+            test_one_sided_metric_compares_to_zero;
+          Alcotest.test_case "gate is symmetric" `Quick test_gate_is_symmetric;
+          Alcotest.test_case "timings gated separately" `Quick test_timing_gated_separately;
+        ] );
+      ( "dirs",
+        [
+          Alcotest.test_case "self-diff passes" `Quick test_self_diff_passes;
+          Alcotest.test_case "regression fails the gate" `Quick test_regression_fails;
+          Alcotest.test_case "missing experiment fails" `Quick test_missing_experiment_fails;
+          Alcotest.test_case "new experiment passes" `Quick test_new_experiment_passes;
+        ] );
+      ( "integration",
+        [ Alcotest.test_case "real reports round-trip" `Quick test_real_reports_round_trip ] );
+    ]
