@@ -193,19 +193,19 @@ let or_list t ls = List.fold_left (or_ t) false_ ls
 (* Iterative post-order over AND nodes reachable from [roots]; leaves are
    not reported. *)
 let cone t roots =
-  let visited = Hashtbl.create 64 in
+  let visited = Util.Int_tbl.create 64 in
   let order = ref [] in
   let stack = Stack.create () in
   let push_node l =
     let n = node_of_lit l in
-    if (not (Hashtbl.mem visited n)) && kind0 t n >= 0 then Stack.push (n, false) stack
+    if (not (Util.Int_tbl.mem visited n)) && kind0 t n >= 0 then Stack.push (n, false) stack
   in
   List.iter push_node roots;
   while not (Stack.is_empty stack) do
     let n, expanded = Stack.pop stack in
-    if not (Hashtbl.mem visited n) then
+    if not (Util.Int_tbl.mem visited n) then
       if expanded then begin
-        Hashtbl.replace visited n ();
+        Util.Int_tbl.replace visited n ();
         order := n :: !order
       end
       else begin
@@ -221,13 +221,13 @@ let size_list t roots = List.length (cone t roots)
 let size t l = size_list t [ l ]
 
 let support_list t roots =
-  let seen_node = Hashtbl.create 64 in
-  let vars = Hashtbl.create 16 in
+  let seen_node = Util.Int_tbl.create 64 in
+  let vars = Util.Int_tbl.create 16 in
   let stack = Stack.create () in
   let push l =
     let n = node_of_lit l in
-    if not (Hashtbl.mem seen_node n) then begin
-      Hashtbl.replace seen_node n ();
+    if not (Util.Int_tbl.mem seen_node n) then begin
+      Util.Int_tbl.replace seen_node n ();
       Stack.push n stack
     end
   in
@@ -235,13 +235,13 @@ let support_list t roots =
   while not (Stack.is_empty stack) do
     let n = Stack.pop stack in
     let f0 = kind0 t n in
-    if f0 = -1 then Hashtbl.replace vars (Util.Vec_int.get t.fanin1 n) ()
+    if f0 = -1 then Util.Int_tbl.replace vars (Util.Vec_int.get t.fanin1 n) ()
     else if f0 >= 0 then begin
       push f0;
       push (Util.Vec_int.get t.fanin1 n)
     end
   done;
-  List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) vars [])
+  List.sort Int.compare (Util.Int_tbl.fold (fun v () acc -> v :: acc) vars [])
 
 let support t l = support_list t [ l ]
 let depends_on t l v = List.mem v (support t l)
@@ -252,16 +252,16 @@ let depends_on t l v = List.mem v (support t l)
    {!cone} yields fanins first, only leaves can be absent from the memo
    when a fanin value is requested. *)
 let transform t ~leaf root =
-  let memo : (int, lit) Hashtbl.t = Hashtbl.create 64 in
-  Hashtbl.replace memo 0 false_;
+  let memo : lit Util.Int_tbl.t = Util.Int_tbl.create 64 in
+  Util.Int_tbl.replace memo 0 false_;
   let value_of l =
     let n = node_of_lit l in
     let v =
-      match Hashtbl.find_opt memo n with
+      match Util.Int_tbl.find_opt memo n with
       | Some v -> v
       | None ->
         let v = leaf n in
-        Hashtbl.replace memo n v;
+        Util.Int_tbl.replace memo n v;
         v
     in
     v lxor (l land 1)
@@ -269,7 +269,7 @@ let transform t ~leaf root =
   List.iter
     (fun n ->
       let f0 = Util.Vec_int.get t.fanin0 n and f1 = Util.Vec_int.get t.fanin1 n in
-      Hashtbl.replace memo n (and_ t (value_of f0) (value_of f1)))
+      Util.Int_tbl.replace memo n (and_ t (value_of f0) (value_of f1)))
     (cone t [ root ]);
   value_of root
 
@@ -296,35 +296,35 @@ let compose t l ~subst =
    themselves). Iterative with an explicit stack: cones can be deeper than
    the call stack (long counter or shift chains). *)
 let rebuild t ~repl root =
-  let memo : (int, lit) Hashtbl.t = Hashtbl.create 64 in
-  Hashtbl.replace memo 0 false_;
+  let memo : lit Util.Int_tbl.t = Util.Int_tbl.create 64 in
+  Util.Int_tbl.replace memo 0 false_;
   let stack = Stack.create () in
   Stack.push (node_of_lit root) stack;
   while not (Stack.is_empty stack) do
     let n = Stack.top stack in
-    if Hashtbl.mem memo n then ignore (Stack.pop stack)
+    if Util.Int_tbl.mem memo n then ignore (Stack.pop stack)
     else begin
       let r = repl n in
       if r <> lit_of_node n then begin
         let m = node_of_lit r in
-        match Hashtbl.find_opt memo m with
+        match Util.Int_tbl.find_opt memo m with
         | Some v ->
-          Hashtbl.replace memo n (v lxor (r land 1));
+          Util.Int_tbl.replace memo n (v lxor (r land 1));
           ignore (Stack.pop stack)
         | None -> Stack.push m stack
       end
       else begin
         let f0 = kind0 t n in
         if f0 = -1 then begin
-          Hashtbl.replace memo n (lit_of_node n);
+          Util.Int_tbl.replace memo n (lit_of_node n);
           ignore (Stack.pop stack)
         end
         else begin
           let f1 = Util.Vec_int.get t.fanin1 n in
           let n0 = node_of_lit f0 and n1 = node_of_lit f1 in
-          match (Hashtbl.find_opt memo n0, Hashtbl.find_opt memo n1) with
+          match (Util.Int_tbl.find_opt memo n0, Util.Int_tbl.find_opt memo n1) with
           | Some v0, Some v1 ->
-            Hashtbl.replace memo n (and_ t (v0 lxor (f0 land 1)) (v1 lxor (f1 land 1)));
+            Util.Int_tbl.replace memo n (and_ t (v0 lxor (f0 land 1)) (v1 lxor (f1 land 1)));
             ignore (Stack.pop stack)
           | m0, m1 ->
             if m0 = None then Stack.push n0 stack;
@@ -333,15 +333,15 @@ let rebuild t ~repl root =
       end
     end
   done;
-  Hashtbl.find memo (node_of_lit root) lxor (root land 1)
+  Util.Int_tbl.find memo (node_of_lit root) lxor (root land 1)
 
 let import t ~source ~subst root =
-  let memo : (int, lit) Hashtbl.t = Hashtbl.create 64 in
-  Hashtbl.replace memo 0 false_;
+  let memo : lit Util.Int_tbl.t = Util.Int_tbl.create 64 in
+  Util.Int_tbl.replace memo 0 false_;
   let value_of l =
     let n = node_of_lit l in
     let v =
-      match Hashtbl.find_opt memo n with
+      match Util.Int_tbl.find_opt memo n with
       | Some v -> v
       | None ->
         (* leaf in topological order: must be a variable of the source *)
@@ -350,7 +350,7 @@ let import t ~source ~subst root =
           | Some var_index -> subst var_index
           | None -> invalid_arg "Aig.import: malformed source cone"
         in
-        Hashtbl.replace memo n v;
+        Util.Int_tbl.replace memo n v;
         v
     in
     v lxor (l land 1)
@@ -358,7 +358,7 @@ let import t ~source ~subst root =
   List.iter
     (fun n ->
       let f0, f1 = fanins source n in
-      Hashtbl.replace memo n (and_ t (value_of f0) (value_of f1)))
+      Util.Int_tbl.replace memo n (and_ t (value_of f0) (value_of f1)))
     (cone source [ root ]);
   value_of root
 
@@ -389,6 +389,77 @@ let simulate_cone t nodes words =
     nodes;
   table
 
+(* Compiled cone: a dense renumbering of a cone (constant, leaves and AND
+   nodes, ascending node id — which is topological in this monotone
+   manager) flattened into instruction arrays, so one 64-lane evaluation
+   pass is a tight loop over int arrays with no hashing at all. This is
+   the substrate of the bit-parallel simulation engine ([Sweep.Sim]).
+
+   Encoding per dense index [i]:
+   - [kind.(i) = -2]: the constant node (word 0).
+   - [kind.(i) = -1]: a variable leaf; [aux.(i)] is the variable index.
+   - otherwise: an AND node; [kind.(i)] and [aux.(i)] are the two fanins
+     as {e dense literals} (dense index * 2 + complement bit). Fanins
+     always precede the node, so the loop reads finished slots only. *)
+type cone_eval = {
+  ce_nodes : int array; (* dense index -> node id, strictly ascending *)
+  ce_kind : int array;
+  ce_aux : int array;
+  ce_index : int Util.Int_tbl.t; (* node id -> dense index *)
+}
+
+let compile_cone t ~roots =
+  let ands = cone t roots in
+  let vars = support_list t roots in
+  let ids =
+    List.sort_uniq Int.compare
+      ((0 :: List.map (fun v -> Util.Vec_int.get t.var_nodes v) vars) @ ands)
+  in
+  let nodes = Array.of_list ids in
+  let n = Array.length nodes in
+  let index = Util.Int_tbl.create (2 * n) in
+  Array.iteri (fun i id -> Util.Int_tbl.replace index id i) nodes;
+  let kind = Array.make n (-2) in
+  let aux = Array.make n 0 in
+  let dense_lit l = (Util.Int_tbl.find index (node_of_lit l) lsl 1) lor (l land 1) in
+  Array.iteri
+    (fun i id ->
+      let f0 = kind0 t id in
+      if f0 = -1 then begin
+        kind.(i) <- -1;
+        aux.(i) <- Util.Vec_int.get t.fanin1 id
+      end
+      else if f0 >= 0 then begin
+        kind.(i) <- dense_lit f0;
+        aux.(i) <- dense_lit (Util.Vec_int.get t.fanin1 id)
+      end)
+    nodes;
+  { ce_nodes = nodes; ce_kind = kind; ce_aux = aux; ce_index = index }
+
+let cone_eval_length ev = Array.length ev.ce_nodes
+let cone_eval_node ev i = ev.ce_nodes.(i)
+
+let cone_eval_index ev n =
+  match Util.Int_tbl.find_opt ev.ce_index n with Some i -> i | None -> -1
+
+let cone_eval_run ev ~words ~out =
+  if Array.length out < Array.length ev.ce_nodes then
+    invalid_arg "Aig.cone_eval_run: output array too short";
+  let kind = ev.ce_kind and aux = ev.ce_aux in
+  for i = 0 to Array.length ev.ce_nodes - 1 do
+    let k = Array.unsafe_get kind i in
+    if k = -2 then Array.unsafe_set out i 0L
+    else if k = -1 then Array.unsafe_set out i (words (Array.unsafe_get aux i))
+    else begin
+      let w0 = Array.unsafe_get out (k lsr 1) in
+      let w0 = if k land 1 = 1 then Int64.lognot w0 else w0 in
+      let f1 = Array.unsafe_get aux i in
+      let w1 = Array.unsafe_get out (f1 lsr 1) in
+      let w1 = if f1 land 1 = 1 then Int64.lognot w1 else w1 in
+      Array.unsafe_set out i (Int64.logand w0 w1)
+    end
+  done
+
 let simulate t l words =
   let table = simulate_cone t (cone t [ l ]) words in
   let n = node_of_lit l in
@@ -406,10 +477,10 @@ let eval t l env =
 (* Ternary evaluation with two-bit encoding per node: (known, value).
    AND: known when both sides known, or either known-0. *)
 let eval3 t l env =
-  let table : (int, bool option) Hashtbl.t = Hashtbl.create 64 in
-  Hashtbl.replace table 0 (Some false);
+  let table : bool option Util.Int_tbl.t = Util.Int_tbl.create 64 in
+  Util.Int_tbl.replace table 0 (Some false);
   let value_of_lit l =
-    let v = Hashtbl.find table (node_of_lit l) in
+    let v = Util.Int_tbl.find table (node_of_lit l) in
     if is_complemented l then Option.map not v else v
   in
   List.iter
@@ -417,8 +488,8 @@ let eval3 t l env =
       let f0 = Util.Vec_int.get t.fanin0 n and f1 = Util.Vec_int.get t.fanin1 n in
       let fix l =
         let m = node_of_lit l in
-        if not (Hashtbl.mem table m) then
-          Hashtbl.replace table m (env (Util.Vec_int.get t.fanin1 m))
+        if not (Util.Int_tbl.mem table m) then
+          Util.Int_tbl.replace table m (env (Util.Vec_int.get t.fanin1 m))
       in
       fix f0;
       fix f1;
@@ -428,11 +499,11 @@ let eval3 t l env =
         | Some true, Some true -> Some true
         | None, _ | _, None -> None
       in
-      Hashtbl.replace table n value)
+      Util.Int_tbl.replace table n value)
     (cone t [ l ]);
   let n = node_of_lit l in
-  if not (Hashtbl.mem table n) then
-    Hashtbl.replace table n (if kind0 t n = -1 then env (Util.Vec_int.get t.fanin1 n) else Some false);
+  if not (Util.Int_tbl.mem table n) then
+    Util.Int_tbl.replace table n (if kind0 t n = -1 then env (Util.Vec_int.get t.fanin1 n) else Some false);
   value_of_lit l
 
 let pp_lit t ppf l =

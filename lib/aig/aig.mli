@@ -136,8 +136,40 @@ val simulate : t -> lit -> (var -> int64) -> int64
 
 (** [simulate_cone t nodes words] returns the simulation word of every node
     in [nodes] (which must be topologically ordered, e.g. from {!cone});
-    the result maps node ids to words and also covers the leaves. *)
+    the result maps node ids to words and also covers the leaves. This is
+    the simple reference path; repeated evaluation of one cone should
+    {!compile_cone} once and run {!cone_eval_run} per word instead. *)
 val simulate_cone : t -> int list -> (var -> int64) -> (int, int64) Hashtbl.t
+
+(** {2 Compiled cones}
+
+    A cone flattened once into dense instruction arrays, so each 64-lane
+    evaluation is a single tight loop with no hashing — the substrate of
+    the bit-parallel simulation engine ([Sweep.Sim]). The dense numbering
+    covers the constant node (always index 0), every support variable leaf
+    and every AND node of the cone, in ascending node-id (hence
+    topological) order. Compiling pins the cone's structure: nodes added
+    to the manager afterwards are simply not part of the evaluation. *)
+
+type cone_eval
+
+val compile_cone : t -> roots:lit list -> cone_eval
+
+(** Number of dense slots (constant + leaves + AND nodes). *)
+val cone_eval_length : cone_eval -> int
+
+(** [cone_eval_node ev i] is the node id at dense index [i]. *)
+val cone_eval_node : cone_eval -> int -> int
+
+(** [cone_eval_index ev n] is the dense index of node [n], or [-1] when
+    [n] is not part of the compiled cone. *)
+val cone_eval_index : cone_eval -> int -> int
+
+(** [cone_eval_run ev ~words ~out] evaluates one 64-pattern word for every
+    dense slot into [out] (length ≥ {!cone_eval_length}); [words v] is the
+    input word of variable [v]. Raises [Invalid_argument] when [out] is
+    too short. *)
+val cone_eval_run : cone_eval -> words:(var -> int64) -> out:int64 array -> unit
 
 (** Word of a literal given the word of its node. *)
 val lit_word : lit -> int64 -> int64

@@ -71,8 +71,12 @@ let implies t a b =
   if a = b || a = Aig.false_ || b = Aig.true_ then Yes
   else neg_answer (satisfiable t [ a; Aig.not_ b ])
 
+let model_var_opt t v = Tseitin.model_var_opt t.ts v
 let model_var t v = Tseitin.model_var t.ts v
 let model t vars = List.map (fun v -> (v, model_var t v)) vars
+
+let assigned_model t vars =
+  List.filter_map (fun v -> Option.map (fun b -> (v, b)) (model_var_opt t v)) vars
 let queries t = t.queries
 let budget_cutoffs t = t.cutoffs
 let solver_stats t = Sat.Solver.stats (Tseitin.solver t.ts)

@@ -40,12 +40,24 @@ val equal_under : t -> care:Aig.lit -> Aig.lit -> Aig.lit -> answer
 val implies : t -> Aig.lit -> Aig.lit -> answer
 
 (** Witness access after a [Yes] from {!satisfiable} (or a [No] from the
-    universal queries, whose refutation is a satisfying counterexample). *)
+    universal queries, whose refutation is a satisfying counterexample):
+    [None] when the variable has no encoded leaf or was left unassigned by
+    the solver — the witness does not constrain it. *)
+val model_var_opt : t -> Aig.var -> bool option
+
+(** [model_var_opt] with unknowns {e explicitly} defaulted to [false] —
+    sound for replaying the witness (any total extension still satisfies),
+    but not a value the solver chose. Code persisting witnesses must use
+    {!model_var_opt} / {!assigned_model} instead. *)
 val model_var : t -> Aig.var -> bool
 
 (** The last witness restricted to the given variables, as a (var, value)
-    list. *)
+    list, with unknowns defaulted to [false] as in {!model_var}. *)
 val model : t -> Aig.var list -> (Aig.var * bool) list
+
+(** The last witness restricted to the given variables, keeping only
+    variables the solver actually assigned. *)
+val assigned_model : t -> Aig.var list -> (Aig.var * bool) list
 
 (** Number of queries answered so far, and of those cut off by the budget. *)
 val queries : t -> int

@@ -60,10 +60,12 @@ let sat_lit t l =
     Sat.Lit.make v (Aig.is_complemented l)
   end
 
-let model_var t v =
-  if v >= Aig.num_vars t.aig then false
+let model_var_opt t v =
+  if v >= Aig.num_vars t.aig then None
   else
     let leaf = Aig.var t.aig v in
     match Hashtbl.find_opt t.node_var (Aig.node_of_lit leaf) with
-    | None -> false
-    | Some sv -> ( match Sat.Solver.value t.solver sv with Some b -> b | None -> false)
+    | None -> None
+    | Some sv -> Sat.Solver.value t.solver sv
+
+let model_var t v = Option.value (model_var_opt t v) ~default:false

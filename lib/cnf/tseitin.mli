@@ -23,6 +23,17 @@ val sat_lit : t -> Aig.lit -> Sat.Lit.t
 (** Number of AIG nodes currently encoded. *)
 val encoded_nodes : t -> int
 
-(** [model_var t v] reads AIG variable [v] from the last SAT model
-    (variables without an encoded leaf or left free default to [false]). *)
+(** [model_var_opt t v] reads AIG variable [v] from the last SAT model:
+    [None] when the variable has no encoded leaf or the solver left it
+    unassigned — i.e. the model constrains it to nothing and either value
+    extends the satisfying assignment. Consumers distilling models into
+    persistent patterns (the sweep {!Sweep.Pattern_bank}) must use this
+    form so genuinely-free variables are not recorded as meaningful
+    [false] bits. *)
+val model_var_opt : t -> Aig.var -> bool option
+
+(** [model_var t v] is [model_var_opt t v] with unknowns defaulted to
+    [false]. The default is sound for counterexample replay — any total
+    extension of the partial model is still a counterexample — but it is
+    an {e explicit choice}, not an assignment the solver made. *)
 val model_var : t -> Aig.var -> bool

@@ -20,6 +20,8 @@ let run ?(config = Reachability.default) model =
   let aig = Netlist.Model.aig model in
   let checker = Cnf.Checker.create aig in
   let prng = Util.Prng.create config.Reachability.seed in
+  (* one pattern bank for the whole traversal, shared by every image step *)
+  let bank = Sweep.Pattern_bank.create () in
   let init = Netlist.Model.init_lit model in
   let input_vars = Netlist.Model.input_vars model in
   let state_vars = Netlist.Model.state_vars model in
@@ -60,7 +62,8 @@ let run ?(config = Reachability.default) model =
   let bad_raw = Aig.not_ model.Netlist.Model.property in
   let bad_inputs = List.filter (fun v -> List.mem v input_vars) (Aig.support aig bad_raw) in
   let bad_result =
-    Quantify.all ~config:config.Reachability.quant aig checker ~prng bad_raw ~vars:bad_inputs
+    Quantify.all ~config:config.Reachability.quant ~bank aig checker ~prng bad_raw
+      ~vars:bad_inputs
   in
   let bad = bad_result.Quantify.lit in
   let bad_clean = bad_result.Quantify.kept = [] in
@@ -91,7 +94,7 @@ let run ?(config = Reachability.default) model =
         support
     in
     let q =
-      Quantify.all ~config:config.Reachability.quant aig checker ~prng product
+      Quantify.all ~config:config.Reachability.quant ~bank aig checker ~prng product
         ~vars:to_quantify
     in
     (* rename residual model variables so they cannot collide with the
@@ -125,13 +128,13 @@ let run ?(config = Reachability.default) model =
         let img, q = image !frontier in
         let img =
           if config.Reachability.sweep_frontier then
-            fst (Synth.Opt.sweep_and_compact aig checker ~prng img)
+            fst (Synth.Opt.sweep_and_compact ~bank aig checker ~prng img)
           else img
         in
         let img =
           if config.Reachability.use_reached_dc then
             fst
-              (Synth.Dontcare.simplify_under_care aig checker ~prng
+              (Synth.Dontcare.simplify_under_care ~bank aig checker ~prng
                  ~care:(Aig.not_ !reached) img)
           else img
         in

@@ -12,7 +12,7 @@ let substitute m b =
 let obs_span = Obs.span "preimage.compute"
 let obs_substituted_size = Obs.histogram "preimage.substituted_size"
 
-let compute ?config m checker ~prng ~frontier ~extra_vars =
+let compute ?config ?bank m checker ~prng ~frontier ~extra_vars =
   Obs.with_span obs_span @@ fun () ->
   Obs.Trace_events.begin_ "preimage.compute";
   let aig = Netlist.Model.aig m in
@@ -23,7 +23,7 @@ let compute ?config m checker ~prng ~frontier ~extra_vars =
     List.filter (fun v -> List.mem v input_vars || List.mem v extra_vars) support
   in
   Obs.observe obs_substituted_size (Aig.size aig inlined);
-  let q = Quantify.all ?config aig checker ~prng inlined ~vars:to_quantify in
+  let q = Quantify.all ?config ?bank aig checker ~prng inlined ~vars:to_quantify in
   Obs.Trace_events.end_args "preimage.compute" "kept" (List.length q.Quantify.kept);
   {
     lit = q.Quantify.lit;

@@ -23,6 +23,7 @@ val substitute : Netlist.Model.t -> Aig.lit -> Aig.lit
     quantifications). *)
 val compute :
   ?config:Quantify.config ->
+  ?bank:Sweep.Pattern_bank.t ->
   Netlist.Model.t ->
   Cnf.Checker.t ->
   prng:Util.Prng.t ->

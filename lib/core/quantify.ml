@@ -64,7 +64,7 @@ let within_budget config ~before ~after =
   || float_of_int after
      <= (config.growth_limit *. float_of_int before) +. float_of_int config.growth_slack
 
-let one ?(config = default) aig checker ~prng l v =
+let one ?(config = default) ?bank aig checker ~prng l v =
   Obs.with_span obs_span @@ fun () ->
   Obs.Trace_events.begin_args "quantify.var" "var" v;
   let size_before = Aig.size aig l in
@@ -94,7 +94,7 @@ let one ?(config = default) aig checker ~prng l v =
       if not run_sweep then ((f0, f1), None)
       else begin
         let lits, report =
-          Sweep.Sweeper.sweep_lits ~config:config.sweep aig checker ~prng [ f0; f1 ]
+          Sweep.Sweeper.sweep_lits ~config:config.sweep ?bank aig checker ~prng [ f0; f1 ]
         in
         match lits with
         | [ a; b ] -> ((a, b), Some report)
@@ -105,7 +105,7 @@ let one ?(config = default) aig checker ~prng l v =
     let result, dc_report =
       if config.use_dontcare then begin
         let g, report =
-          Synth.Dontcare.disjunction ~config:config.dontcare aig checker ~prng f0 f1
+          Synth.Dontcare.disjunction ~config:config.dontcare ?bank aig checker ~prng f0 f1
         in
         (g, Some report)
       end
@@ -141,12 +141,12 @@ let one ?(config = default) aig checker ~prng l v =
     ((if aborted then Error result else Ok result), report)
   end
 
-let forall ?(config = default) aig checker ~prng l v =
-  let result, report = one ~config aig checker ~prng (Aig.not_ l) v in
+let forall ?(config = default) ?bank aig checker ~prng l v =
+  let result, report = one ~config ?bank aig checker ~prng (Aig.not_ l) v in
   (Result.fold ~ok:(fun r -> Ok (Aig.not_ r)) ~error:(fun r -> Error (Aig.not_ r)) result, report)
 
-let block ?(config = default) aig checker ~prng l ~vars =
-  let vars = List.sort_uniq compare (List.filter (Aig.depends_on aig l) vars) in
+let block ?(config = default) ?bank aig checker ~prng l ~vars =
+  let vars = List.sort_uniq Int.compare (List.filter (Aig.depends_on aig l) vars) in
   let k = List.length vars in
   if k = 0 then Ok l
   else if k > 6 then invalid_arg "Quantify.block: at most 6 variables"
@@ -160,7 +160,7 @@ let block ?(config = default) aig checker ~prng l ~vars =
             (fun i v -> c := Aig.cofactor aig !c ~v ~phase:((mask lsr i) land 1 = 1))
             vars;
           !c)
-      |> List.sort_uniq compare
+      |> List.sort_uniq Int.compare
     in
     (* joint merge phase across every cofactor at once *)
     let cofactors =
@@ -169,13 +169,13 @@ let block ?(config = default) aig checker ~prng l ~vars =
       in
       if not run_sweep then cofactors
       else
-        fst (Sweep.Sweeper.sweep_lits ~config:config.sweep aig checker ~prng cofactors)
-        |> List.sort_uniq compare
+        fst (Sweep.Sweeper.sweep_lits ~config:config.sweep ?bank aig checker ~prng cofactors)
+        |> List.sort_uniq Int.compare
     in
     (* balanced disjunction tree, each join optimized under mutual DCs *)
     let join a b =
       if config.use_dontcare then
-        fst (Synth.Dontcare.disjunction ~config:config.dontcare aig checker ~prng a b)
+        fst (Synth.Dontcare.disjunction ~config:config.dontcare ?bank aig checker ~prng a b)
       else Aig.or_ aig a b
     in
     let rec reduce = function
@@ -204,19 +204,19 @@ type result = {
    function depends on the variable — exactly the region Shannon expansion
    duplicates. One bottom-up pass computes it for all variables at once. *)
 let influence aig l vars =
-  let interesting = Hashtbl.create 16 in
-  List.iter (fun v -> Hashtbl.replace interesting v ()) vars;
-  let counts = Hashtbl.create 16 in
+  let interesting = Util.Int_tbl.create 16 in
+  List.iter (fun v -> Util.Int_tbl.replace interesting v ()) vars;
+  let counts = Util.Int_tbl.create 16 in
   (* node -> set of interesting vars in its support, as a sorted int list
      (cones are small; sets stay tiny because [vars] is the candidate list) *)
-  let supports : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  let supports : int list Util.Int_tbl.t = Util.Int_tbl.create 64 in
   let support_of_lit lit =
     let n = Aig.node_of_lit lit in
-    match Hashtbl.find_opt supports n with
+    match Util.Int_tbl.find_opt supports n with
     | Some s -> s
     | None -> (
       match Aig.var_of_lit aig lit with
-      | Some v when Hashtbl.mem interesting v -> [ v ]
+      | Some v when Util.Int_tbl.mem interesting v -> [ v ]
       | Some _ | None -> [])
   in
   let rec merge a b =
@@ -231,15 +231,16 @@ let influence aig l vars =
     (fun n ->
       let f0, f1 = Aig.fanins aig n in
       let s = merge (support_of_lit f0) (support_of_lit f1) in
-      Hashtbl.replace supports n s;
+      Util.Int_tbl.replace supports n s;
       List.iter
         (fun v ->
-          Hashtbl.replace counts v (1 + Option.value (Hashtbl.find_opt counts v) ~default:0))
+          Util.Int_tbl.replace counts v
+            (1 + Option.value (Util.Int_tbl.find_opt counts v) ~default:0))
         s)
     (Aig.cone aig [ l ]);
-  fun v -> Option.value (Hashtbl.find_opt counts v) ~default:0
+  fun v -> Option.value (Util.Int_tbl.find_opt counts v) ~default:0
 
-let all ?(config = default) aig checker ~prng l ~vars =
+let all ?(config = default) ?bank aig checker ~prng l ~vars =
   let rec go l remaining eliminated kept reports =
     match remaining with
     | [] -> { lit = l; eliminated = List.rev eliminated; kept = List.rev kept; reports = List.rev reports }
@@ -247,14 +248,14 @@ let all ?(config = default) aig checker ~prng l ~vars =
       let remaining =
         if config.greedy_order then begin
           let cost = influence aig l remaining in
-          List.stable_sort (fun a b -> compare (cost a) (cost b)) remaining
+          List.stable_sort (fun a b -> Int.compare (cost a) (cost b)) remaining
         end
         else remaining
       in
       (match remaining with
       | [] -> assert false
       | v :: rest -> (
-        match one ~config aig checker ~prng l v with
+        match one ~config ?bank aig checker ~prng l v with
         | Ok l', report -> go l' rest (v :: eliminated) kept (report :: reports)
         | Error _, report -> go l rest eliminated (v :: kept) (report :: reports)))
   in

@@ -51,6 +51,7 @@ val pp_var_report : Format.formatter -> var_report -> unit
     partial quantification discard it and keep [v] free instead). *)
 val one :
   ?config:config ->
+  ?bank:Sweep.Pattern_bank.t ->
   Aig.t ->
   Cnf.Checker.t ->
   prng:Util.Prng.t ->
@@ -62,6 +63,7 @@ val one :
     duality: [∀v.F = ¬∃v.¬F]. Same budget semantics as {!one}. *)
 val forall :
   ?config:config ->
+  ?bank:Sweep.Pattern_bank.t ->
   Aig.t ->
   Cnf.Checker.t ->
   prng:Util.Prng.t ->
@@ -77,6 +79,7 @@ val forall :
     the joint result busts the growth budget. *)
 val block :
   ?config:config ->
+  ?bank:Sweep.Pattern_bank.t ->
   Aig.t ->
   Cnf.Checker.t ->
   prng:Util.Prng.t ->
@@ -91,11 +94,15 @@ type result = {
   reports : var_report list;
 }
 
-(** [all ?config aig checker ~prng l ~vars] eliminates the variables in
-    sequence (greedy cheapest-first when configured), keeping the aborted
-    ones — the paper's partial quantification. *)
+(** [all ?config ?bank aig checker ~prng l ~vars] eliminates the variables
+    in sequence (greedy cheapest-first when configured), keeping the
+    aborted ones — the paper's partial quantification. A shared
+    {!Sweep.Pattern_bank.t} recycles every distinguishing SAT model across
+    the per-variable sweeps (and, via the caller, across traversal
+    frames). *)
 val all :
   ?config:config ->
+  ?bank:Sweep.Pattern_bank.t ->
   Aig.t ->
   Cnf.Checker.t ->
   prng:Util.Prng.t ->

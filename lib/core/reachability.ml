@@ -88,6 +88,9 @@ let run ?(config = default) model =
   let aig = Netlist.Model.aig model in
   let checker = Cnf.Checker.create aig in
   let prng = Util.Prng.create config.seed in
+  (* one pattern bank for the whole traversal: counterexamples learned in
+     any frame keep refuting merge candidates in every later frame *)
+  let bank = Sweep.Pattern_bank.create () in
   let init = Netlist.Model.init_lit model in
   let iterations = ref [] in
   let peak = ref 0 in
@@ -118,7 +121,9 @@ let run ?(config = default) model =
   let bad_raw = Aig.not_ model.Netlist.Model.property in
   let input_vars = Netlist.Model.input_vars model in
   let bad_inputs = List.filter (fun v -> List.mem v input_vars) (Aig.support aig bad_raw) in
-  let b0_result = Quantify.all ~config:config.quant aig checker ~prng bad_raw ~vars:bad_inputs in
+  let b0_result =
+    Quantify.all ~config:config.quant ~bank aig checker ~prng bad_raw ~vars:bad_inputs
+  in
   let b0 = b0_result.Quantify.lit in
   let b0_clean = b0_result.Quantify.kept = [] in
   peak := Aig.size aig b0;
@@ -146,7 +151,7 @@ let run ?(config = default) model =
         let step_watch = Util.Stopwatch.start () in
         Obs.Trace_events.begin_args "reach.frame" "frame" k;
         let pre =
-          Preimage.compute ~config:config.quant model checker ~prng ~frontier:!frontier
+          Preimage.compute ~config:config.quant ~bank model checker ~prng ~frontier:!frontier
             ~extra_vars:!aux_vars
         in
         (* residual model inputs must not collide with the next frame's
@@ -164,7 +169,7 @@ let run ?(config = default) model =
           @ List.filter (fun v -> not (List.mem v pre.Preimage.eliminated)) !aux_vars;
         let new_frontier =
           if config.sweep_frontier then
-            fst (Synth.Opt.sweep_and_compact aig checker ~prng new_frontier)
+            fst (Synth.Opt.sweep_and_compact ~bank aig checker ~prng new_frontier)
           else new_frontier
         in
         (* optional: states already known to reach a bad state are don't
@@ -172,7 +177,7 @@ let run ?(config = default) model =
         let new_frontier =
           if config.use_reached_dc then
             fst
-              (Synth.Dontcare.simplify_under_care aig checker ~prng
+              (Synth.Dontcare.simplify_under_care ~bank aig checker ~prng
                  ~care:(Aig.not_ !reached) new_frontier)
           else new_frontier
         in

@@ -18,9 +18,9 @@ let pp_verdict ppf = function
     Format.fprintf ppf ")"
   | Unknown -> Format.pp_print_string ppf "UNKNOWN"
 
-let check ?config aig checker ~prng a b =
+let check ?config ?bank aig checker ~prng a b =
   let watch = Util.Stopwatch.start () in
-  let lits, sweep = Sweeper.sweep_lits ?config aig checker ~prng [ a; b ] in
+  let lits, sweep = Sweeper.sweep_lits ?config ?bank aig checker ~prng [ a; b ] in
   let a', b' = match lits with [ x; y ] -> (x, y) | _ -> assert false in
   let merged = a' = b' in
   let verdict =

@@ -22,10 +22,12 @@ type report = {
 
 val pp_verdict : Format.formatter -> verdict -> unit
 
-(** [check ?config aig checker ~prng a b] — are literals [a] and [b] (same
-    manager) functionally equal? *)
+(** [check ?config ?bank aig checker ~prng a b] — are literals [a] and [b]
+    (same manager) functionally equal? [bank] enables counterexample
+    recycling across repeated checks over one manager. *)
 val check :
   ?config:Sweeper.config ->
+  ?bank:Pattern_bank.t ->
   Aig.t ->
   Cnf.Checker.t ->
   prng:Util.Prng.t ->

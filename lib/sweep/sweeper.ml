@@ -43,33 +43,35 @@ type report = {
   sat_unknown : int;
   sat_skipped_covered : int;
   sim_refinements : int;
+  sim_words : int;
+  bank_patterns : int;
   total_merges : int;
 }
 
 let pp_report ppf r =
   Format.fprintf ppf
     "cone=%d classes=%d cand-lits=%d bdd-merges=%d%s sat: merges=%d calls=%d refuted=%d \
-     unknown=%d skipped=%d refinements=%d total-merges=%d"
+     unknown=%d skipped=%d refinements=%d words=%d bank=%d total-merges=%d"
     r.cone_size r.candidate_classes r.candidate_literals r.bdd_merges
     (if r.bdd_aborted then "(aborted)" else "")
     r.sat_merges r.sat_calls r.sat_refuted r.sat_unknown r.sat_skipped_covered r.sim_refinements
-    r.total_merges
+    r.sim_words r.bank_patterns r.total_merges
 
 (* Parity union-find over node ids stored as node -> representative literal.
    The representative of a class is always its lowest node id, which makes
    the final substitution acyclic for [Aig.rebuild] (fanins have lower ids
    than the nodes above them). *)
 module Merge_map = struct
-  type t = (int, Aig.lit) Hashtbl.t
+  type t = Aig.lit Util.Int_tbl.t
 
-  let create () : t = Hashtbl.create 64
+  let create () : t = Util.Int_tbl.create 64
 
   let rec find (t : t) n =
-    match Hashtbl.find_opt t n with
+    match Util.Int_tbl.find_opt t n with
     | None -> Aig.lit_of_node n
     | Some l ->
       let r = find t (Aig.node_of_lit l) lxor (l land 1) in
-      Hashtbl.replace t n r;
+      Util.Int_tbl.replace t n r;
       r
 
   let find_lit t l = find t (Aig.node_of_lit l) lxor (l land 1)
@@ -79,22 +81,22 @@ module Merge_map = struct
     let ra = find_lit t a and rb = find_lit t b in
     let na = Aig.node_of_lit ra and nb = Aig.node_of_lit rb in
     if na <> nb then
-      if na < nb then Hashtbl.replace t nb (ra lxor (rb land 1))
-      else Hashtbl.replace t na (rb lxor (ra land 1))
+      if na < nb then Util.Int_tbl.replace t nb (ra lxor (rb land 1))
+      else Util.Int_tbl.replace t na (rb lxor (ra land 1))
 
-  let merged_nodes t = Hashtbl.length t
+  let merged_nodes t = Util.Int_tbl.length t
 end
 
-let run ?(config = default) aig checker ~prng ~roots =
+let run ?(config = default) ?bank aig checker ~prng ~roots =
   let watch = Util.Stopwatch.start () in
   let strash_before = (Aig.stats aig).Aig.strash_hits in
   let mm = Merge_map.create () in
   let cone_size = Aig.size_list aig roots in
   Obs.Trace_events.begin_args "sweep.run" "cone_size" cone_size;
-  (* stage 2: simulation candidates *)
+  (* stage 2: simulation candidates, seeded with recycled counterexamples *)
   Obs.Trace_events.begin_ "sweep.sim";
-  let sim = Sim.create aig ~roots ~rounds:config.sim_rounds ~prng in
-  Obs.Trace_events.end_ "sweep.sim";
+  let sim = Sim.create ?bank aig ~roots ~rounds:config.sim_rounds ~prng in
+  Obs.Trace_events.end_args "sweep.sim" "words" (Sim.words sim);
   let initial_classes = Sim.classes sim in
   let candidate_classes = List.length initial_classes in
   let candidate_literals = List.fold_left (fun acc c -> acc + List.length c) 0 initial_classes in
@@ -124,9 +126,9 @@ let run ?(config = default) aig checker ~prng ~roots =
     Cnf.Checker.set_conflict_limit checker config.sat_conflict_limit;
     let hard : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
     (* backward mode: nodes strictly below an already-merged node *)
-    let covered : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+    let covered : unit Util.Int_tbl.t = Util.Int_tbl.create 16 in
     let cover l =
-      List.iter (fun n -> Hashtbl.replace covered n ()) (Aig.cone aig [ l ])
+      List.iter (fun n -> Util.Int_tbl.replace covered n ()) (Aig.cone aig [ l ])
     in
     let progress = ref true in
     while !progress do
@@ -145,8 +147,8 @@ let run ?(config = default) aig checker ~prng ~roots =
       let key (_, m) = Aig.level aig (Aig.node_of_lit m) in
       let pairs =
         match direction with
-        | Forward -> List.stable_sort (fun a b -> compare (key a) (key b)) pairs
-        | Backward -> List.stable_sort (fun a b -> compare (key b) (key a)) pairs
+        | Forward -> List.stable_sort (fun a b -> Int.compare (key a) (key b)) pairs
+        | Backward -> List.stable_sort (fun a b -> Int.compare (key b) (key a)) pairs
       in
       let rec process = function
         | [] -> ()
@@ -156,8 +158,8 @@ let run ?(config = default) aig checker ~prng ~roots =
           else if Hashtbl.mem hard (Aig.node_of_lit repr, Aig.node_of_lit m) then process rest
           else if
             direction = Backward
-            && Hashtbl.mem covered (Aig.node_of_lit repr)
-            && Hashtbl.mem covered (Aig.node_of_lit m)
+            && Util.Int_tbl.mem covered (Aig.node_of_lit repr)
+            && Util.Int_tbl.mem covered (Aig.node_of_lit m)
           then begin
             incr sat_skipped;
             process rest
@@ -175,6 +177,12 @@ let run ?(config = default) aig checker ~prng ~roots =
               process rest
             | Cnf.Checker.No ->
               incr sat_refuted;
+              (* distill the distinguishing model into the persistent bank
+                 (assigned variables only — free ones carry no information)
+                 so it keeps refuting candidates in later sweeps/frames *)
+              (match bank with
+              | Some b -> Pattern_bank.add b (Cnf.Checker.assigned_model checker (Sim.vars sim))
+              | None -> ());
               (* fold the distinguishing model back into the signatures:
                  this splits every class the model distinguishes, so the
                  pair list must be recomputed *)
@@ -202,6 +210,8 @@ let run ?(config = default) aig checker ~prng ~roots =
       sat_unknown = !sat_unknown;
       sat_skipped_covered = !sat_skipped;
       sim_refinements = Sim.refinements sim;
+      sim_words = Sim.words sim;
+      bank_patterns = (match bank with Some b -> Pattern_bank.size b | None -> 0);
       total_merges = Merge_map.merged_nodes mm;
     }
   in
@@ -221,8 +231,8 @@ let run ?(config = default) aig checker ~prng ~roots =
   Obs.Trace_events.end_args "sweep.run" "total_merges" report.total_merges;
   (Merge_map.find mm, report)
 
-let sweep_lits ?config aig checker ~prng lits =
-  let repl, report = run ?config aig checker ~prng ~roots:lits in
+let sweep_lits ?config ?bank aig checker ~prng lits =
+  let repl, report = run ?config ?bank aig checker ~prng ~roots:lits in
   (* strash hits during the rebuild are merge points too: applying the
      substitution lets the hashing front-end collapse newly-equal cones *)
   let strash_before = (Aig.stats aig).Aig.strash_hits in

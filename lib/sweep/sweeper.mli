@@ -43,27 +43,34 @@ type report = {
   sat_unknown : int; (* pairs abandoned on the conflict budget *)
   sat_skipped_covered : int; (* backward mode: pairs under a merged output *)
   sim_refinements : int;
+  sim_words : int; (* 64-pattern words simulated (bank + random + refinements) *)
+  bank_patterns : int; (* patterns in the bank after the run (0 without a bank) *)
   total_merges : int;
 }
 
 val pp_report : Format.formatter -> report -> unit
 
-(** [run ?config aig checker ~prng ~roots] returns [(repl, report)] where
-    [repl] maps every node id to its representative literal ([repl n =
-    Aig.lit_of_node n] when unmerged) — feed it to {!Aig.rebuild}. The
-    checker must wrap the same AIG manager. *)
+(** [run ?config ?bank aig checker ~prng ~roots] returns [(repl, report)]
+    where [repl] maps every node id to its representative literal ([repl n
+    = Aig.lit_of_node n] when unmerged) — feed it to {!Aig.rebuild}. The
+    checker must wrap the same AIG manager. When [bank] is given, its
+    stored counterexample lanes seed the simulation signatures, and every
+    distinguishing SAT model produced here is distilled back into it —
+    counterexample recycling across sweeps and reachability frames. *)
 val run :
   ?config:config ->
+  ?bank:Pattern_bank.t ->
   Aig.t ->
   Cnf.Checker.t ->
   prng:Util.Prng.t ->
   roots:Aig.lit list ->
   (int -> Aig.lit) * report
 
-(** [sweep_lits ?config aig checker ~prng lits] runs the sweeper and
+(** [sweep_lits ?config ?bank aig checker ~prng lits] runs the sweeper and
     rebuilds each literal through the substitution. *)
 val sweep_lits :
   ?config:config ->
+  ?bank:Pattern_bank.t ->
   Aig.t ->
   Cnf.Checker.t ->
   prng:Util.Prng.t ->

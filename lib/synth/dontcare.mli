@@ -18,7 +18,11 @@
       whole disjunction.
 
     Candidates are proposed by care-set-masked simulation signatures, so
-    the SAT queries stay targeted. *)
+    the SAT queries stay targeted. When a {!Sweep.Pattern_bank.t} is
+    supplied, its recycled counterexample lanes additionally pre-filter
+    candidate pairs: any stored pattern that distinguishes a pair inside
+    the care set refutes it without a solver call
+    ([dontcare.sim.prefiltered]). *)
 
 type config = {
   sim_rounds : int;
@@ -47,6 +51,7 @@ val pp_report : Format.formatter -> report -> unit
     discarded. *)
 val disjunction :
   ?config:config ->
+  ?bank:Sweep.Pattern_bank.t ->
   Aig.t ->
   Cnf.Checker.t ->
   prng:Util.Prng.t ->
@@ -63,6 +68,7 @@ val disjunction :
     [(constants, merges)]. *)
 val simplify_under_care :
   ?config:config ->
+  ?bank:Sweep.Pattern_bank.t ->
   Aig.t ->
   Cnf.Checker.t ->
   prng:Util.Prng.t ->

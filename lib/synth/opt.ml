@@ -1,7 +1,7 @@
 let compact aig l = Aig.rebuild aig ~repl:Aig.lit_of_node l
 
-let sweep_and_compact ?config aig checker ~prng l =
-  let lits, report = Sweep.Sweeper.sweep_lits ?config aig checker ~prng [ l ] in
+let sweep_and_compact ?config ?bank aig checker ~prng l =
+  let lits, report = Sweep.Sweeper.sweep_lits ?config ?bank aig checker ~prng [ l ] in
   match lits with
   | [ l' ] -> (l', report)
   | _ -> assert false

@@ -13,6 +13,7 @@ val compact : Aig.t -> Aig.lit -> Aig.lit
     literal and the sweep report. *)
 val sweep_and_compact :
   ?config:Sweep.Sweeper.config ->
+  ?bank:Sweep.Pattern_bank.t ->
   Aig.t ->
   Cnf.Checker.t ->
   prng:Util.Prng.t ->

@@ -1,0 +1,12 @@
+(* Fibonacci multiplicative hashing: odd multiplier close to 2^63/phi,
+   then a fold of the high bits so buckets see the avalanche. *)
+let hash_int x =
+  let h = x * 0x9E3779B97F4A7C1 in
+  (h lxor (h lsr 29)) land max_int
+
+include Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash = hash_int
+end)

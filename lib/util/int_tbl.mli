@@ -1,0 +1,13 @@
+(** Hash tables keyed by native integers with a monomorphic hash.
+
+    The polymorphic [Hashtbl.hash] walks its argument generically through a
+    C call; for the int-keyed tables on the AIG/sweep hot paths (cone
+    walks, simulation memos, merge maps) a fixed multiplicative mix is both
+    faster and avalanche-complete. Drop-in [Hashtbl.Make] interface. *)
+
+include Hashtbl.S with type key = int
+
+(** The mixing function itself, exposed for hand-rolled open-addressing
+    tables and signature hashing: a Fibonacci-style multiplicative hash,
+    always non-negative. *)
+val hash_int : int -> int
