@@ -17,12 +17,17 @@
      dune exec bench/main.exe -- --no-micro
      dune exec bench/main.exe -- --stats-dir=reports T4
                                          -- one JSON run report per row
+     dune exec bench/main.exe -- --row-timeout=5 T4
+                                         -- fresh 5s wall-clock governor per
+                                            engine row (rows degrade to
+                                            UNDECIDED instead of stalling)
 *)
 
 let quick = ref false
 let run_micro = ref true
 let selected : string list ref = ref []
 let stats_dir : string option ref = ref None
+let row_timeout : float option ref = ref None
 
 let () =
   Array.iteri
@@ -34,8 +39,20 @@ let () =
         | "--micro" -> run_micro := true
         | s when String.length s > 12 && String.sub s 0 12 = "--stats-dir=" ->
           stats_dir := Some (String.sub s 12 (String.length s - 12))
+        | s when String.length s > 14 && String.sub s 0 14 = "--row-timeout=" ->
+          row_timeout := float_of_string_opt (String.sub s 14 (String.length s - 14))
         | s -> selected := String.uppercase_ascii s :: !selected)
     Sys.argv
+
+(* With --row-timeout=SEC every engine invocation of the comparison
+   tables runs under its own fresh wall-clock governor, so a single
+   blown-up row degrades to UNDECIDED instead of stalling the whole
+   harness. Each call gets a new governor: exhaustion is sticky and must
+   not leak across rows. *)
+let row_limits () =
+  match !row_timeout with
+  | None -> Util.Limits.unlimited
+  | Some sec -> Util.Limits.create ~timeout:sec ()
 
 let wanted id = !selected = [] || List.mem id !selected
 
@@ -402,39 +419,40 @@ let t4_run_engines name param =
   in
   let vs v = Format.asprintf "%a" Baselines.Verdict.pp v in
   (let m = build () in
-   let r, dt = Util.Stopwatch.time (fun () -> Cbq.Reachability.run ~config:{ Cbq.Reachability.default with make_trace = false } m) in
+   let r, dt = Util.Stopwatch.time (fun () -> Cbq.Reachability.run ~config:{ Cbq.Reachability.default with make_trace = false } ~limits:(row_limits ()) m) in
    let v =
      match r.Cbq.Reachability.verdict with
      | Cbq.Reachability.Proved -> "PROVED"
      | Cbq.Reachability.Falsified { depth; _ } -> Printf.sprintf "FALSIFIED(%d)" depth
-     | Cbq.Reachability.Out_of_budget w -> "UNDECIDED(" ^ w ^ ")"
+     | Cbq.Reachability.Out_of_budget { reason; _ } -> "UNDECIDED(" ^ reason ^ ")"
    in
    add "cbq" v (List.length r.Cbq.Reachability.iterations) r.Cbq.Reachability.peak_frontier dt);
   (let m = build () in
-   let r, dt = Util.Stopwatch.time (fun () -> Baselines.Bdd_mc.backward ~node_limit:300_000 m) in
+   let r, dt = Util.Stopwatch.time (fun () -> Baselines.Bdd_mc.backward ~node_limit:300_000 ~limits:(row_limits ()) m) in
    add "bdd-bwd" (vs r.Baselines.Bdd_mc.verdict) (List.length r.Baselines.Bdd_mc.iterations)
      r.Baselines.Bdd_mc.peak_nodes dt);
   (let m = build () in
-   let r, dt = Util.Stopwatch.time (fun () -> Baselines.Bdd_mc.forward ~node_limit:300_000 m) in
+   let r, dt = Util.Stopwatch.time (fun () -> Baselines.Bdd_mc.forward ~node_limit:300_000 ~limits:(row_limits ()) m) in
    add "bdd-fwd" (vs r.Baselines.Bdd_mc.verdict) (List.length r.Baselines.Bdd_mc.iterations)
      r.Baselines.Bdd_mc.peak_nodes dt);
   (let m = build () in
-   let r, dt = Util.Stopwatch.time (fun () -> Baselines.Bmc.run ~max_depth:64 m) in
+   let r, dt = Util.Stopwatch.time (fun () -> Baselines.Bmc.run ~max_depth:64 ~limits:(row_limits ()) m) in
    add "bmc" (vs r.Baselines.Bmc.verdict) r.Baselines.Bmc.depth_reached
      r.Baselines.Bmc.solver.Sat.Solver.decisions dt);
   (let m = build () in
-   let r, dt = Util.Stopwatch.time (fun () -> Baselines.Induction.run ~max_k:40 m) in
+   let r, dt = Util.Stopwatch.time (fun () -> Baselines.Induction.run ~max_k:40 ~limits:(row_limits ()) m) in
    add "induction" (vs r.Baselines.Induction.verdict) r.Baselines.Induction.k_used
      r.Baselines.Induction.solver.Sat.Solver.decisions dt);
   (let m = build () in
    let r, dt =
-     Util.Stopwatch.time (fun () -> Baselines.Cofactor_preimage.run ~max_enumerations:50_000 m)
+     Util.Stopwatch.time (fun () ->
+         Baselines.Cofactor_preimage.run ~max_enumerations:50_000 ~limits:(row_limits ()) m)
    in
    add "cofactor" (vs r.Baselines.Cofactor_preimage.verdict)
      (List.length r.Baselines.Cofactor_preimage.iterations)
      r.Baselines.Cofactor_preimage.total_enumerations dt);
   (let m = build () in
-   let r, dt = Util.Stopwatch.time (fun () -> Baselines.Hybrid.run m) in
+   let r, dt = Util.Stopwatch.time (fun () -> Baselines.Hybrid.run ~limits:(row_limits ()) m) in
    add "hybrid" (vs r.Baselines.Hybrid.verdict) (List.length r.Baselines.Hybrid.iterations)
      r.Baselines.Hybrid.total_enumerations dt);
   List.rev !rows
@@ -671,18 +689,22 @@ let t7 () =
       let m1, _ = Circuits.Registry.build name param in
       with_report ("t7-" ^ Netlist.Model.name m1) @@ fun () ->
       let cfg = { Cbq.Reachability.default with make_trace = false } in
-      let r1, dt1 = Util.Stopwatch.time (fun () -> Cbq.Forward.run ~config:cfg m1) in
+      let r1, dt1 =
+        Util.Stopwatch.time (fun () -> Cbq.Forward.run ~config:cfg ~limits:(row_limits ()) m1)
+      in
       let v1 =
         match r1.Cbq.Reachability.verdict with
         | Cbq.Reachability.Proved -> "PROVED"
         | Cbq.Reachability.Falsified { depth; _ } -> Printf.sprintf "FALSIFIED(%d)" depth
-        | Cbq.Reachability.Out_of_budget w -> "UNDECIDED(" ^ w ^ ")"
+        | Cbq.Reachability.Out_of_budget { reason; _ } -> "UNDECIDED(" ^ reason ^ ")"
       in
       line "%-16s %-10s %-16s %6d %9d %9.4f@." (Netlist.Model.name m1) "cbq-fwd" v1
         (List.length r1.Cbq.Reachability.iterations)
         r1.Cbq.Reachability.peak_frontier dt1;
       let m2, _ = Circuits.Registry.build name param in
-      let r2, dt2 = Util.Stopwatch.time (fun () -> Baselines.Bdd_mc.forward m2) in
+      let r2, dt2 =
+        Util.Stopwatch.time (fun () -> Baselines.Bdd_mc.forward ~limits:(row_limits ()) m2)
+      in
       line "%-16s %-10s %-16s %6d %9d %9.4f@." (Netlist.Model.name m2) "bdd-fwd"
         (Format.asprintf "%a" Baselines.Verdict.pp r2.Baselines.Bdd_mc.verdict)
         (List.length r2.Baselines.Bdd_mc.iterations)

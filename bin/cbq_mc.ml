@@ -57,13 +57,13 @@ let print_minimized model t =
       Format.printf "@.")
     essential
 
-let run_engine ?(minimize = false) engine model verbose trace_wanted =
+let run_engine ?(minimize = false) ~limits engine model verbose trace_wanted =
   match engine with
   | Cbq_engine | Cbq_fwd ->
     let config = { Cbq.Reachability.default with make_trace = trace_wanted } in
     let r =
-      if engine = Cbq_fwd then Cbq.Forward.run ~config model
-      else Cbq.Reachability.run ~config model
+      if engine = Cbq_fwd then Cbq.Forward.run ~config ~limits model
+      else Cbq.Reachability.run ~config ~limits model
     in
     Format.printf "%a@." Cbq.Reachability.pp_result r;
     if verbose then print_iterations_cbq r;
@@ -87,7 +87,7 @@ let run_engine ?(minimize = false) engine model verbose trace_wanted =
     | Cbq.Reachability.Out_of_budget _ -> `Undecided)
   | Bdd_bwd | Bdd_fwd ->
     let f = if engine = Bdd_bwd then Baselines.Bdd_mc.backward else Baselines.Bdd_mc.forward in
-    let r = f model in
+    let r = f ~limits model in
     Format.printf "%a@." Baselines.Bdd_mc.pp_result r;
     if verbose then
       List.iter
@@ -100,7 +100,7 @@ let run_engine ?(minimize = false) engine model verbose trace_wanted =
     | Baselines.Verdict.Falsified d -> `Falsified d
     | Baselines.Verdict.Undecided _ -> `Undecided)
   | Bmc_engine ->
-    let r = Baselines.Bmc.run model in
+    let r = Baselines.Bmc.run ~limits model in
     Format.printf "%a@." Baselines.Bmc.pp_result r;
     (match r.Baselines.Bmc.trace with
     | Some t when trace_wanted -> Format.printf "%a" (Cbq.Trace.pp model) t
@@ -110,21 +110,21 @@ let run_engine ?(minimize = false) engine model verbose trace_wanted =
     | Baselines.Verdict.Falsified d -> `Falsified d
     | Baselines.Verdict.Undecided _ -> `Undecided)
   | Induction_engine ->
-    let r = Baselines.Induction.run model in
+    let r = Baselines.Induction.run ~limits model in
     Format.printf "%a@." Baselines.Induction.pp_result r;
     (match r.Baselines.Induction.verdict with
     | Baselines.Verdict.Proved -> `Proved
     | Baselines.Verdict.Falsified d -> `Falsified d
     | Baselines.Verdict.Undecided _ -> `Undecided)
   | Cofactor ->
-    let r = Baselines.Cofactor_preimage.run model in
+    let r = Baselines.Cofactor_preimage.run ~limits model in
     Format.printf "%a@." Baselines.Cofactor_preimage.pp_result r;
     (match r.Baselines.Cofactor_preimage.verdict with
     | Baselines.Verdict.Proved -> `Proved
     | Baselines.Verdict.Falsified d -> `Falsified d
     | Baselines.Verdict.Undecided _ -> `Undecided)
   | Hybrid_engine ->
-    let r = Baselines.Hybrid.run model in
+    let r = Baselines.Hybrid.run ~limits model in
     Format.printf "%a@." Baselines.Hybrid.pp_result r;
     (match r.Baselines.Hybrid.verdict with
     | Baselines.Verdict.Proved -> `Proved
@@ -197,6 +197,40 @@ let trace_json_arg =
           "record structured trace events and write them to $(docv) in Chrome trace_event \
            format (load in chrome://tracing or ui.perfetto.dev)")
 
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SEC"
+        ~doc:
+          "wall-clock budget in seconds (monotonic clock). On expiry the run degrades \
+           gracefully: optimization stages are skipped, SAT queries answer Maybe, and the \
+           engine reports an anytime UNDECIDED verdict naming the deadline")
+
+let max_conflicts_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-conflicts" ] ~docv:"N"
+        ~doc:"global SAT-conflict pool shared by every query of the run")
+
+let max_aig_nodes_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-aig-nodes" ] ~docv:"N"
+        ~doc:"ceiling on the AIG manager's node count (checked at frame boundaries)")
+
+let max_bdd_nodes_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-bdd-nodes" ] ~docv:"N"
+        ~doc:
+          "cumulative BDD node pool across all sweeping managers (non-fatal: draining it \
+           only disables further BDD sweeping; the bdd-bwd/bdd-fwd engines treat it as \
+           their verdict limit)")
+
 let progress_arg =
   Arg.(
     value & flag
@@ -205,7 +239,7 @@ let progress_arg =
 
 let engine_name engine = fst (List.find (fun (_, e) -> e = engine) engine_names)
 
-let emit_stats ~stats ~stats_json ~model ~engine ~watch outcome =
+let emit_stats ~stats ~stats_json ~model ~engine ~watch ~limits outcome =
   Obs.meta "tool" "cbq-mc";
   Obs.meta "model" (Netlist.Model.name model);
   Obs.meta "engine" (engine_name engine);
@@ -214,6 +248,9 @@ let emit_stats ~stats ~stats_json ~model ~engine ~watch outcome =
     | `Proved -> "proved"
     | `Falsified d -> Printf.sprintf "falsified:%d" d
     | `Undecided -> "undecided");
+  (match Util.Limits.exhausted limits with
+  | Some r -> Obs.meta "exhausted" (Util.Limits.resource_name r)
+  | None -> ());
   Obs.meta "seconds" (Printf.sprintf "%.6f" (Util.Stopwatch.elapsed watch));
   if stats then Format.printf "%a" Obs.pp_summary ();
   match stats_json with
@@ -225,7 +262,7 @@ let emit_stats ~stats ~stats_json ~model ~engine ~watch outcome =
 let run_cmd =
   let doc = "verify a circuit's safety property" in
   let run circuit param aag engine verbose trace seq_sweep coi minimize stats stats_json
-      trace_json progress =
+      trace_json progress timeout max_conflicts max_aig_nodes max_bdd_nodes =
     (* --progress reads the sweep merge counters, so it needs the registry
        live even without --stats *)
     if stats || stats_json <> None || progress then begin
@@ -238,6 +275,13 @@ let run_cmd =
     end;
     if progress then Obs.Progress.start ();
     let watch = Util.Stopwatch.start () in
+    (* the governor's deadline clock starts here, before model build, so
+       --timeout bounds the whole invocation *)
+    let limits =
+      if timeout = None && max_conflicts = None && max_aig_nodes = None && max_bdd_nodes = None
+      then Util.Limits.unlimited
+      else Util.Limits.create ?timeout ?max_conflicts ?max_aig_nodes ?max_bdd_nodes ()
+    in
     let model, status = load_model circuit param aag in
     Format.printf "model %s: %a@." (Netlist.Model.name model) Netlist.Model.pp_stats
       (Netlist.Model.stats model);
@@ -257,10 +301,15 @@ let run_cmd =
       end
       else model
     in
-    let outcome = run_engine ~minimize engine model verbose trace in
+    let outcome = run_engine ~minimize ~limits engine model verbose trace in
     if progress then Obs.Progress.finish ();
+    (match Util.Limits.exhausted limits with
+    | Some r ->
+      Format.printf "limits: %s exhausted after %.2fs@." (Util.Limits.resource_name r)
+        (Util.Limits.elapsed limits)
+    | None -> ());
     if stats || stats_json <> None then
-      emit_stats ~stats ~stats_json ~model ~engine ~watch outcome;
+      emit_stats ~stats ~stats_json ~model ~engine ~watch ~limits outcome;
     (match trace_json with
     | Some path ->
       Obs.Trace_events.set_enabled false;
@@ -269,7 +318,10 @@ let run_cmd =
         (Obs.Trace_events.recorded ()) (Obs.Trace_events.dropped ())
     | None -> ());
     match status with
-    | None -> if outcome = `Undecided then exit 2 else exit 0
+    | None ->
+      (* under explicit resource limits an Undecided verdict is the
+         documented graceful-degradation outcome, not a failure *)
+      if outcome = `Undecided && not (Util.Limits.is_limited limits) then exit 2 else exit 0
     | Some expected ->
       let agrees =
         match (outcome, expected) with
@@ -287,7 +339,8 @@ let run_cmd =
     Term.(
       const run $ circuit_arg $ param_arg $ aag_arg $ engine_arg $ verbose_arg $ trace_arg
       $ seq_sweep_arg $ coi_arg $ minimize_arg $ stats_arg $ stats_json_arg $ trace_json_arg
-      $ progress_arg) )
+      $ progress_arg $ timeout_arg $ max_conflicts_arg $ max_aig_nodes_arg
+      $ max_bdd_nodes_arg) )
 
 let run_term = snd run_cmd
 let run_cmd = Cmd.v (fst run_cmd) run_term

@@ -26,7 +26,8 @@ let () =
     Format.printf "  final occupancy register: %d (capacity %d)@." occupancy (1 lsl depth_log)
   | Cbq.Reachability.Falsified { trace = None; _ } -> Format.printf "  (no trace)@."
   | Cbq.Reachability.Proved -> Format.printf "  unexpectedly proved?!@."
-  | Cbq.Reachability.Out_of_budget why -> Format.printf "  undecided: %s@." why);
+  | Cbq.Reachability.Out_of_budget { reason; _ } ->
+    Format.printf "  undecided: %s@." reason);
 
   (* 1b. which inputs actually matter? ternary-simulation minimization *)
   (match r.Cbq.Reachability.verdict with

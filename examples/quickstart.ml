@@ -53,4 +53,4 @@ let () =
     Format.printf "trace checks out: %b@." (Cbq.Trace.check model t)
   | Cbq.Reachability.Falsified { trace = None; _ } -> Format.printf "(no trace requested)@."
   | Cbq.Reachability.Proved -> Format.printf "property proved@."
-  | Cbq.Reachability.Out_of_budget why -> Format.printf "undecided: %s@." why
+  | Cbq.Reachability.Out_of_budget { reason; _ } -> Format.printf "undecided: %s@." reason

@@ -53,15 +53,29 @@ let make_translator man aig =
     in
     if Aig.is_complemented lit then Bdd.not_ man b else b
 
-let run_engine ~node_limit ~body =
+let run_engine ~limits ~node_limit ~body =
   let watch = Util.Stopwatch.start () in
+  let limits = Obs.Limits.arm limits in
   let man = Bdd.create () in
   let iterations = ref [] in
-  let verdict =
-    match Bdd.with_limit man ~max_nodes:node_limit (fun () -> body man iterations) with
-    | Ok v -> v
-    | Error `Node_limit -> Verdict.Undecided "node limit"
+  (* the governor's BDD node pool tightens the engine's own quota; when
+     the pool is the binding constraint, blowing it is a fatal trip *)
+  let pool_bound, node_limit =
+    match Util.Limits.bdd_budget limits with
+    | Some pool when pool < node_limit -> (true, max 1 pool)
+    | Some _ | None -> (false, node_limit)
   in
+  let verdict =
+    match Bdd.with_limit man ~max_nodes:node_limit (fun () -> body limits man iterations) with
+    | Ok v -> v
+    | Error `Node_limit ->
+      if pool_bound then begin
+        Util.Limits.trip limits Util.Limits.Bdd_nodes;
+        Verdict.Undecided (Util.Limits.resource_name Util.Limits.Bdd_nodes)
+      end
+      else Verdict.Undecided "node limit"
+  in
+  Util.Limits.charge_bdd_nodes limits (Bdd.num_nodes man);
   {
     verdict;
     iterations = List.rev !iterations;
@@ -69,11 +83,12 @@ let run_engine ~node_limit ~body =
     seconds = Util.Stopwatch.elapsed watch;
   }
 
-let backward ?(node_limit = 1_000_000) ?(max_iterations = 200) model =
+let backward ?(node_limit = 1_000_000) ?(max_iterations = 200)
+    ?(limits = Util.Limits.unlimited) model =
   let aig = Netlist.Model.aig model in
   let input_vars = Netlist.Model.input_vars model in
   let is_input v = List.mem v input_vars in
-  run_engine ~node_limit ~body:(fun man iterations ->
+  run_engine ~limits ~node_limit ~body:(fun limits man iterations ->
       let of_lit = make_translator man aig in
       let next_bdd =
         List.map
@@ -88,6 +103,11 @@ let backward ?(node_limit = 1_000_000) ?(max_iterations = 200) model =
         let reached = ref bad in
         let frontier = ref bad in
         let rec loop k =
+          match Util.Limits.check limits with
+          | Some r ->
+            Verdict.Undecided
+              (Printf.sprintf "%s (frame %d)" (Util.Limits.resource_name r) (k - 1))
+          | None ->
           if k > max_iterations then Verdict.Undecided "iteration limit"
           else begin
             let pre = Bdd.exists man is_input (Bdd.compose man !frontier ~subst) in
@@ -107,14 +127,15 @@ let backward ?(node_limit = 1_000_000) ?(max_iterations = 200) model =
         loop 1
       end)
 
-let forward ?(node_limit = 1_000_000) ?(max_iterations = 200) model =
+let forward ?(node_limit = 1_000_000) ?(max_iterations = 200)
+    ?(limits = Util.Limits.unlimited) model =
   let aig = Netlist.Model.aig model in
   let input_vars = Netlist.Model.input_vars model in
   let state_vars = Netlist.Model.state_vars model in
   (* primed variables live above every model variable *)
   let base = Aig.num_vars aig + 1 in
   let primed = List.mapi (fun i v -> (v, base + i)) state_vars in
-  run_engine ~node_limit ~body:(fun man iterations ->
+  run_engine ~limits ~node_limit ~body:(fun limits man iterations ->
       let of_lit = make_translator man aig in
       let relation =
         List.fold_left
@@ -141,6 +162,11 @@ let forward ?(node_limit = 1_000_000) ?(max_iterations = 200) model =
         let reached = ref init in
         let frontier = ref init in
         let rec loop k =
+          match Util.Limits.check limits with
+          | Some r ->
+            Verdict.Undecided
+              (Printf.sprintf "%s (frame %d)" (Util.Limits.resource_name r) (k - 1))
+          | None ->
           if k > max_iterations then Verdict.Undecided "iteration limit"
           else begin
             let img = image !frontier in

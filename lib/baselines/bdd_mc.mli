@@ -22,9 +22,22 @@ type result = {
 val pp_result : Format.formatter -> result -> unit
 
 (** Backward reachability from [¬P] — the same traversal as
-    {!Cbq.Reachability} but with BDD state sets. *)
-val backward : ?node_limit:int -> ?max_iterations:int -> Netlist.Model.t -> result
+    {!Cbq.Reachability} but with BDD state sets. [limits] is a run-wide
+    governor: its BDD node pool tightens [node_limit] (blowing the pool
+    is a fatal trip), its deadline is polled at every frame, and all
+    nodes the manager allocates are charged back to the pool. *)
+val backward :
+  ?node_limit:int ->
+  ?max_iterations:int ->
+  ?limits:Util.Limits.t ->
+  Netlist.Model.t ->
+  result
 
 (** Forward reachability from the initial states, with a monolithic
-    transition relation. *)
-val forward : ?node_limit:int -> ?max_iterations:int -> Netlist.Model.t -> result
+    transition relation. [limits] as in {!backward}. *)
+val forward :
+  ?node_limit:int ->
+  ?max_iterations:int ->
+  ?limits:Util.Limits.t ->
+  Netlist.Model.t ->
+  result

@@ -19,10 +19,13 @@ let pp_result ppf r =
 let preprocess_config =
   { Cbq.Quantify.default with growth_limit = 1.0; growth_slack = 8 }
 
-let search ?(conflict_limit = max_int) ?(preprocess = false) model ~target_at ~max_depth =
+let search ?(conflict_limit = max_int) ?(preprocess = false)
+    ?(limits = Util.Limits.unlimited) model ~target_at ~max_depth =
   let watch = Util.Stopwatch.start () in
+  let limits = Obs.Limits.arm limits in
   let aig = Netlist.Model.aig model in
   let checker = Cnf.Checker.create aig in
+  Cnf.Checker.set_limits checker limits;
   let prng = Util.Prng.create 67 in
   let limit = if conflict_limit = max_int then None else Some conflict_limit in
   let unroll = Cbq.Unroll.create model in
@@ -57,25 +60,37 @@ let search ?(conflict_limit = max_int) ?(preprocess = false) model ~target_at ~m
     | answer -> answer
   in
   let rec go k =
-    if k > max_depth then
-      finish (Verdict.Undecided (Printf.sprintf "bound %d" max_depth)) None max_depth
-    else begin
-      match query k with
-      | Cnf.Checker.Yes ->
-        let trace =
-          Cbq.Unroll.trace_from_model unroll ~depth:k ~value:(Cnf.Checker.model_var checker)
-        in
-        finish (Verdict.Falsified k) (Some trace) k
-      | Cnf.Checker.No -> go (k + 1)
-      | Cnf.Checker.Maybe -> finish (Verdict.Undecided "conflict budget") None k
-    end
+    match Util.Limits.check limits with
+    | Some r ->
+      finish
+        (Verdict.Undecided (Printf.sprintf "%s (depth %d)" (Util.Limits.resource_name r) k))
+        None k
+    | None ->
+      if k > max_depth then
+        finish (Verdict.Undecided (Printf.sprintf "bound %d" max_depth)) None max_depth
+      else begin
+        match query k with
+        | Cnf.Checker.Yes ->
+          let trace =
+            Cbq.Unroll.trace_from_model unroll ~depth:k ~value:(Cnf.Checker.model_var checker)
+          in
+          finish (Verdict.Falsified k) (Some trace) k
+        | Cnf.Checker.No -> go (k + 1)
+        | Cnf.Checker.Maybe ->
+          let why =
+            match Util.Limits.exhausted limits with
+            | Some r -> Printf.sprintf "%s (depth %d)" (Util.Limits.resource_name r) k
+            | None -> "conflict budget"
+          in
+          finish (Verdict.Undecided why) None k
+      end
   in
   go 0
 
-let run ?(max_depth = 100) ?conflict_limit ?preprocess model =
-  search ?conflict_limit ?preprocess model ~target_at:Cbq.Unroll.bad_at ~max_depth
+let run ?(max_depth = 100) ?conflict_limit ?preprocess ?limits model =
+  search ?conflict_limit ?preprocess ?limits model ~target_at:Cbq.Unroll.bad_at ~max_depth
 
-let run_with_frontier ?conflict_limit model ~frontier ~max_depth =
+let run_with_frontier ?conflict_limit ?limits model ~frontier ~max_depth =
   let aig = Netlist.Model.aig model in
   let target_at unroll k =
     let subst v =
@@ -85,4 +100,4 @@ let run_with_frontier ?conflict_limit model ~frontier ~max_depth =
     in
     Aig.compose aig frontier ~subst
   in
-  search model ~target_at ~max_depth ?conflict_limit
+  search model ~target_at ~max_depth ?conflict_limit ?limits

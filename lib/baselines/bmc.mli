@@ -26,13 +26,26 @@ val pp_result : Format.formatter -> result -> unit
     budget) structurally eliminates frame-input variables from the
     unrolled bad-state cone, so the solver faces fewer decision variables.
     Counterexample traces are then reconstructed from the un-preprocessed
-    cone, so they stay complete. *)
+    cone, so they stay complete.
+
+    [limits] is a run-wide resource governor; on a trip the search stops
+    with [Undecided] naming the resource and the depth reached. *)
 val run :
-  ?max_depth:int -> ?conflict_limit:int -> ?preprocess:bool -> Netlist.Model.t -> result
+  ?max_depth:int ->
+  ?conflict_limit:int ->
+  ?preprocess:bool ->
+  ?limits:Util.Limits.t ->
+  Netlist.Model.t ->
+  result
 
 (** [run_with_frontier m ~frontier ~max_depth] — BMC towards an arbitrary
     state set instead of [¬P]: find a path from the initial states into
     [frontier] (a literal over state variables). Used by the hybrid engine
     and by tests that cross-validate CBQ frontiers. *)
 val run_with_frontier :
-  ?conflict_limit:int -> Netlist.Model.t -> frontier:Aig.lit -> max_depth:int -> result
+  ?conflict_limit:int ->
+  ?limits:Util.Limits.t ->
+  Netlist.Model.t ->
+  frontier:Aig.lit ->
+  max_depth:int ->
+  result

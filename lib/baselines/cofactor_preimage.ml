@@ -47,10 +47,13 @@ let pp_result ppf r =
   Format.fprintf ppf "%a iterations=%d enumerations=%d %.3fs" Verdict.pp r.verdict
     (List.length r.iterations) r.total_enumerations r.seconds
 
-let run ?(max_iterations = 200) ?(max_enumerations = 10_000) model =
+let run ?(max_iterations = 200) ?(max_enumerations = 10_000)
+    ?(limits = Util.Limits.unlimited) model =
   let watch = Util.Stopwatch.start () in
+  let limits = Obs.Limits.arm limits in
   let aig = Netlist.Model.aig model in
   let checker = Cnf.Checker.create aig in
+  Cnf.Checker.set_limits checker limits;
   let init = Netlist.Model.init_lit model in
   let input_vars = Netlist.Model.input_vars model in
   let iterations = ref [] in
@@ -63,11 +66,18 @@ let run ?(max_iterations = 200) ?(max_enumerations = 10_000) model =
       seconds = Util.Stopwatch.elapsed watch;
     }
   in
+  (* an aborted enumeration is either a budgeted Maybe from a governor
+     trip (name the resource) or a genuine enumeration-count overflow *)
+  let enumeration_stop () =
+    match Util.Limits.exhausted limits with
+    | Some r -> Verdict.Undecided (Util.Limits.resource_name r)
+    | None -> Verdict.Undecided "enumeration budget"
+  in
   (* bad states, input-quantified by enumeration as well *)
   let bad_raw = Aig.not_ model.Netlist.Model.property in
   let bad_inputs = List.filter (fun v -> List.mem v input_vars) (Aig.support aig bad_raw) in
   match enumerate aig checker bad_raw ~quantify:bad_inputs ~max_enumerations with
-  | None -> finish (Verdict.Undecided "enumeration budget")
+  | None -> finish (enumeration_stop ())
   | Some (b0, n0) ->
     total_enum := n0;
     if Cnf.Checker.satisfiable checker [ init; b0 ] = Cnf.Checker.Yes then
@@ -76,6 +86,12 @@ let run ?(max_iterations = 200) ?(max_enumerations = 10_000) model =
       let reached = ref b0 in
       let frontier = ref b0 in
       let rec loop k =
+        match Util.Limits.check limits with
+        | Some r ->
+          finish
+            (Verdict.Undecided
+               (Printf.sprintf "%s (frame %d)" (Util.Limits.resource_name r) (k - 1)))
+        | None ->
         if k > max_iterations then finish (Verdict.Undecided "iteration limit")
         else begin
           let support = Aig.support aig (Cbq.Preimage.substitute model !frontier) in
@@ -84,7 +100,7 @@ let run ?(max_iterations = 200) ?(max_enumerations = 10_000) model =
             preimage model checker ~frontier:!frontier ~quantify
               ~max_enumerations:(max_enumerations - !total_enum)
           with
-          | None -> finish (Verdict.Undecided "enumeration budget")
+          | None -> finish (enumeration_stop ())
           | Some (pre, stats) ->
             total_enum := !total_enum + stats.enumerations;
             iterations :=

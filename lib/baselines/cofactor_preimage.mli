@@ -38,6 +38,12 @@ type result = {
 val pp_result : Format.formatter -> result -> unit
 
 (** Backward reachability where every pre-image is computed by
-    enumeration. *)
+    enumeration. [limits] is a run-wide governor: polled at every frame,
+    bound to the SAT checker, and named in the [Undecided] message when
+    it trips. *)
 val run :
-  ?max_iterations:int -> ?max_enumerations:int -> Netlist.Model.t -> result
+  ?max_iterations:int ->
+  ?max_enumerations:int ->
+  ?limits:Util.Limits.t ->
+  Netlist.Model.t ->
+  result

@@ -22,10 +22,12 @@ let default_quant =
   { Cbq.Quantify.default with growth_limit = 1.2; growth_slack = 16 }
 
 let run ?(quant_config = default_quant) ?(max_iterations = 200) ?(max_enumerations = 10_000)
-    model =
+    ?(limits = Util.Limits.unlimited) model =
   let watch = Util.Stopwatch.start () in
+  let limits = Obs.Limits.arm limits in
   let aig = Netlist.Model.aig model in
   let checker = Cnf.Checker.create aig in
+  Cnf.Checker.set_limits checker limits;
   let prng = Util.Prng.create 3 in
   let init = Netlist.Model.init_lit model in
   let input_vars = Netlist.Model.input_vars model in
@@ -74,12 +76,19 @@ let run ?(quant_config = default_quant) ?(max_iterations = 200) ?(max_enumeratio
     | Some (lit, enums) ->
       Some (lit, List.length q.Cbq.Preimage.eliminated, List.length q.Cbq.Preimage.kept, enums)
   in
+  (* an aborted enumeration is either a budgeted Maybe from a governor
+     trip (name the resource) or a genuine enumeration-count overflow *)
+  let enumeration_stop () =
+    match Util.Limits.exhausted limits with
+    | Some r -> Verdict.Undecided (Util.Limits.resource_name r)
+    | None -> Verdict.Undecided "enumeration budget"
+  in
   (* iteration 0 *)
   let bad_raw = Aig.not_ model.Netlist.Model.property in
   let bad_inputs = List.filter (fun v -> List.mem v input_vars) (Aig.support aig bad_raw) in
   let q0 = Cbq.Quantify.all ~config:quant_config aig checker ~prng bad_raw ~vars:bad_inputs in
   match enumerate_residual q0.Cbq.Quantify.lit q0.Cbq.Quantify.kept with
-  | None -> finish (Verdict.Undecided "enumeration budget")
+  | None -> finish (enumeration_stop ())
   | Some (b0, n0) ->
     total_enum := n0;
     if Cnf.Checker.satisfiable checker [ init; b0 ] = Cnf.Checker.Yes then
@@ -88,10 +97,16 @@ let run ?(quant_config = default_quant) ?(max_iterations = 200) ?(max_enumeratio
       let reached = ref b0 in
       let frontier = ref b0 in
       let rec loop k =
+        match Util.Limits.check limits with
+        | Some r ->
+          finish
+            (Verdict.Undecided
+               (Printf.sprintf "%s (frame %d)" (Util.Limits.resource_name r) (k - 1)))
+        | None ->
         if k > max_iterations then finish (Verdict.Undecided "iteration limit")
         else begin
           match preimage !frontier with
-          | None -> finish (Verdict.Undecided "enumeration budget")
+          | None -> finish (enumeration_stop ())
           | Some (pre, eliminated, kept, enums) ->
             total_enum := !total_enum + enums;
             iterations :=

@@ -24,12 +24,14 @@ type result = {
 
 val pp_result : Format.formatter -> result -> unit
 
-(** [run ?quant_config ?max_iterations ?max_enumerations m]. The default
-    [quant_config] uses a tight growth budget (abort early, let SAT
-    finish), which is the paper's recommended division of labour. *)
+(** [run ?quant_config ?max_iterations ?max_enumerations ?limits m]. The
+    default [quant_config] uses a tight growth budget (abort early, let
+    SAT finish), which is the paper's recommended division of labour.
+    [limits] is a run-wide governor as in {!Cofactor_preimage.run}. *)
 val run :
   ?quant_config:Cbq.Quantify.config ->
   ?max_iterations:int ->
   ?max_enumerations:int ->
+  ?limits:Util.Limits.t ->
   Netlist.Model.t ->
   result

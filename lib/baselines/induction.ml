@@ -76,10 +76,12 @@ module Symbolic = struct
     Aig.or_list t.aig bits
 end
 
-let run ?(max_k = 50) ?(simple_path = true) model =
+let run ?(max_k = 50) ?(simple_path = true) ?(limits = Util.Limits.unlimited) model =
   let watch = Util.Stopwatch.start () in
+  let limits = Obs.Limits.arm limits in
   let aig = Netlist.Model.aig model in
   let checker = Cnf.Checker.create aig in
+  Cnf.Checker.set_limits checker limits;
   let base_unroll = Cbq.Unroll.create model in
   let sym = Symbolic.create model in
   let finish verdict k trace =
@@ -91,35 +93,49 @@ let run ?(max_k = 50) ?(simple_path = true) model =
       seconds = Util.Stopwatch.elapsed watch;
     }
   in
+  (* a budgeted Maybe: name the tripped governor resource when there is
+     one, the per-query conflict budget otherwise *)
+  let undecided_why k =
+    match Util.Limits.exhausted limits with
+    | Some r -> Printf.sprintf "%s (k=%d)" (Util.Limits.resource_name r) k
+    | None -> "conflict budget"
+  in
   let rec round k =
-    if k > max_k then finish (Verdict.Undecided (Printf.sprintf "no convergence by k=%d" max_k)) max_k None
-    else begin
-      (* base: counterexample of exactly length k? *)
-      match Cnf.Checker.satisfiable checker [ Cbq.Unroll.bad_at base_unroll k ] with
-      | Cnf.Checker.Yes ->
-        let trace =
-          Cbq.Unroll.trace_from_model base_unroll ~depth:k
-            ~value:(Cnf.Checker.model_var checker)
-        in
-        finish (Verdict.Falsified k) k (Some trace)
-      | Cnf.Checker.Maybe -> finish (Verdict.Undecided "conflict budget") k None
-      | Cnf.Checker.No ->
-        (* step: P on frames 0..k, loop-free, yet ¬P on frame k+1 *)
-        let assumptions =
-          List.init (k + 1) (fun i -> Symbolic.property_at sym i)
-          @ [ Aig.not_ (Symbolic.property_at sym (k + 1)) ]
-          @ (if simple_path then
-               (* all k+2 path states pairwise distinct: makes the method
-                  complete (vacuous step once k exceeds the state count) *)
-               List.concat
-                 (List.init (k + 2) (fun i ->
-                      List.init (k + 2 - i - 1) (fun d -> Symbolic.distinct sym i (i + d + 1))))
-             else [])
-        in
-        (match Cnf.Checker.satisfiable checker assumptions with
-        | Cnf.Checker.No -> finish Verdict.Proved k None
-        | Cnf.Checker.Yes -> round (k + 1)
-        | Cnf.Checker.Maybe -> finish (Verdict.Undecided "conflict budget") k None)
-    end
+    match Util.Limits.check limits with
+    | Some r ->
+      finish
+        (Verdict.Undecided (Printf.sprintf "%s (k=%d)" (Util.Limits.resource_name r) k))
+        k None
+    | None ->
+      if k > max_k then
+        finish (Verdict.Undecided (Printf.sprintf "no convergence by k=%d" max_k)) max_k None
+      else begin
+        (* base: counterexample of exactly length k? *)
+        match Cnf.Checker.satisfiable checker [ Cbq.Unroll.bad_at base_unroll k ] with
+        | Cnf.Checker.Yes ->
+          let trace =
+            Cbq.Unroll.trace_from_model base_unroll ~depth:k
+              ~value:(Cnf.Checker.model_var checker)
+          in
+          finish (Verdict.Falsified k) k (Some trace)
+        | Cnf.Checker.Maybe -> finish (Verdict.Undecided (undecided_why k)) k None
+        | Cnf.Checker.No ->
+          (* step: P on frames 0..k, loop-free, yet ¬P on frame k+1 *)
+          let assumptions =
+            List.init (k + 1) (fun i -> Symbolic.property_at sym i)
+            @ [ Aig.not_ (Symbolic.property_at sym (k + 1)) ]
+            @ (if simple_path then
+                 (* all k+2 path states pairwise distinct: makes the method
+                    complete (vacuous step once k exceeds the state count) *)
+                 List.concat
+                   (List.init (k + 2) (fun i ->
+                        List.init (k + 2 - i - 1) (fun d -> Symbolic.distinct sym i (i + d + 1))))
+               else [])
+          in
+          (match Cnf.Checker.satisfiable checker assumptions with
+          | Cnf.Checker.No -> finish Verdict.Proved k None
+          | Cnf.Checker.Yes -> round (k + 1)
+          | Cnf.Checker.Maybe -> finish (Verdict.Undecided (undecided_why k)) k None)
+      end
   in
   round 0

@@ -17,6 +17,9 @@ type result = {
 
 val pp_result : Format.formatter -> result -> unit
 
-(** [run ?max_k ?simple_path m]. [Undecided] when [max_k] rounds pass
-    without convergence (only possible with [simple_path:false]). *)
-val run : ?max_k:int -> ?simple_path:bool -> Netlist.Model.t -> result
+(** [run ?max_k ?simple_path ?limits m]. [Undecided] when [max_k] rounds
+    pass without convergence (only possible with [simple_path:false]) or
+    when the [limits] governor trips mid-run — the message then names
+    the resource and the round reached. *)
+val run :
+  ?max_k:int -> ?simple_path:bool -> ?limits:Util.Limits.t -> Netlist.Model.t -> result

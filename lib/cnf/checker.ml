@@ -3,18 +3,30 @@ type answer = Yes | No | Maybe
 let obs_queries = Obs.counter "cnf.queries"
 let obs_cutoffs = Obs.counter "cnf.budget_cutoffs"
 let obs_const_shortcuts = Obs.counter "cnf.const_shortcuts"
+let obs_limit_shortcuts = Obs.counter "limits.query_shortcuts"
 
 type t = {
   ts : Tseitin.t;
   mutable conflict_limit : int option;
+  mutable limits : Util.Limits.t;
   mutable queries : int;
   mutable cutoffs : int;
 }
 
-let create aig = { ts = Tseitin.create aig; conflict_limit = None; queries = 0; cutoffs = 0 }
+let create aig =
+  {
+    ts = Tseitin.create aig;
+    conflict_limit = None;
+    limits = Util.Limits.unlimited;
+    queries = 0;
+    cutoffs = 0;
+  }
+
 let tseitin t = t.ts
 let aig t = Tseitin.aig t.ts
 let set_conflict_limit t n = t.conflict_limit <- n
+let set_limits t l = t.limits <- l
+let limits t = t.limits
 
 let satisfiable t lits =
   t.queries <- t.queries + 1;
@@ -24,12 +36,21 @@ let satisfiable t lits =
     Obs.incr obs_const_shortcuts;
     No
   end
+  else if Util.Limits.exhausted t.limits <> None then begin
+    (* governor already tripped: degrade without paying a solver call *)
+    t.cutoffs <- t.cutoffs + 1;
+    Obs.incr obs_cutoffs;
+    Obs.incr obs_limit_shortcuts;
+    Maybe
+  end
   else begin
     let assumptions = List.map (Tseitin.sat_lit t.ts) lits in
     let result =
       match t.conflict_limit with
-      | None -> Sat.Solver.solve ~assumptions (Tseitin.solver t.ts)
-      | Some budget -> Sat.Solver.solve ~assumptions ~conflict_limit:budget (Tseitin.solver t.ts)
+      | None -> Sat.Solver.solve ~assumptions ~limits:t.limits (Tseitin.solver t.ts)
+      | Some budget ->
+        Sat.Solver.solve ~assumptions ~conflict_limit:budget ~limits:t.limits
+          (Tseitin.solver t.ts)
     in
     match result with
     | Sat.Solver.Sat -> Yes

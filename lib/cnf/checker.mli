@@ -21,6 +21,19 @@ val aig : t -> Aig.t
     the bound). *)
 val set_conflict_limit : t -> int option -> unit
 
+(** [set_limits t l] binds every subsequent query to a run-wide resource
+    governor ({!Util.Limits}): conflicts drain its shared pool, its
+    deadline is polled during search, and once it has tripped queries
+    answer [Maybe] without touching the solver. Defaults to
+    [Util.Limits.unlimited]. Orthogonal to {!set_conflict_limit}, which
+    bounds each query individually. *)
+val set_limits : t -> Util.Limits.t -> unit
+
+(** The governor currently bound by {!set_limits}. Layers above the
+    checker (sweeping, quantification) read it here so one binding at
+    engine entry governs the whole stack. *)
+val limits : t -> Util.Limits.t
+
 (** [satisfiable t lits] — is the conjunction of [lits] satisfiable?
     After [Yes], {!model_var} reads the witness. *)
 val satisfiable : t -> Aig.lit list -> answer

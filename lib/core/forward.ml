@@ -2,6 +2,13 @@ let exact_answer checker lits =
   Cnf.Checker.set_conflict_limit checker None;
   Cnf.Checker.satisfiable checker lits
 
+(* see [Reachability.budget_reason]: certification queries left [Maybe]
+   by the run-wide governor must degrade the run, never read as No *)
+let budget_reason limits =
+  match Util.Limits.exhausted limits with
+  | Some r -> Util.Limits.resource_name r
+  | None -> Util.Limits.resource_name Util.Limits.Conflicts
+
 (* Same metric names as [Reachability] — the registry resolves them to
    the same global accumulators, so either traversal direction fills the
    per-frame section of the run report. *)
@@ -15,10 +22,13 @@ let obs_kept = Obs.counter "reach.kept_inputs"
 let sum_naive reports =
   List.fold_left (fun acc r -> acc + r.Quantify.size_naive) 0 reports
 
-let run ?(config = Reachability.default) model =
+let run ?(config = Reachability.default) ?(limits = Util.Limits.unlimited) model =
   let watch = Util.Stopwatch.start () in
+  Obs.Progress.begin_run ();
+  let limits = Obs.Limits.arm limits in
   let aig = Netlist.Model.aig model in
   let checker = Cnf.Checker.create aig in
+  Cnf.Checker.set_limits checker limits;
   let prng = Util.Prng.create config.Reachability.seed in
   (* one pattern bank for the whole traversal, shared by every image step *)
   let bank = Sweep.Pattern_bank.create () in
@@ -38,25 +48,35 @@ let run ?(config = Reachability.default) model =
     }
   in
   let falsified hit_iteration =
-    let depth, trace =
-      if config.Reachability.make_trace then begin
-        let unroll = Unroll.create model in
-        let rec search d =
-          if d > hit_iteration + 64 then None
-          else
-            match exact_answer checker [ Unroll.bad_at unroll d ] with
-            | Cnf.Checker.Yes ->
-              Some
-                (d, Unroll.trace_from_model unroll ~depth:d ~value:(Cnf.Checker.model_var checker))
-            | Cnf.Checker.No | Cnf.Checker.Maybe -> search (d + 1)
-        in
-        match search hit_iteration with
-        | Some (d, t) -> (d, Some t)
-        | None -> (hit_iteration, None)
-      end
-      else (hit_iteration, None)
-    in
-    Reachability.Falsified { depth; trace }
+    if config.Reachability.make_trace || config.Reachability.use_reached_dc then begin
+      let unroll = Unroll.create model in
+      let rec search d =
+        if d > hit_iteration + 64 then None
+        else
+          match exact_answer checker [ Unroll.bad_at unroll d ] with
+          | Cnf.Checker.Yes ->
+            Some
+              (d, Unroll.trace_from_model unroll ~depth:d ~value:(Cnf.Checker.model_var checker))
+          | Cnf.Checker.No -> search (d + 1)
+          (* a budgeted Maybe must stop the scan — skipping past an
+             undecided depth could certify a wrong depth *)
+          | Cnf.Checker.Maybe -> None
+      in
+      match search hit_iteration with
+      | Some (d, t) ->
+        Reachability.Falsified
+          { depth = d; trace = (if config.Reachability.make_trace then Some t else None) }
+      | None -> (
+        (* the reached-set don't-care makes the hit iteration a bound, not
+           the depth; if the governor kept the scan from confirming it,
+           degrade rather than risk a wrong depth *)
+        match Util.Limits.exhausted limits with
+        | Some r when config.Reachability.use_reached_dc ->
+          Reachability.Out_of_budget
+            { reason = Util.Limits.resource_name r; frames = hit_iteration }
+        | Some _ | None -> Reachability.Falsified { depth = hit_iteration; trace = None })
+    end
+    else Reachability.Falsified { depth = hit_iteration; trace = None }
   in
   (* bad states over the state variables (property inputs quantified) *)
   let bad_raw = Aig.not_ model.Netlist.Model.property in
@@ -115,13 +135,24 @@ let run ?(config = Reachability.default) model =
     let renamed = Aig.compose aig lit ~subst:unprime in
     (renamed, q)
   in
-  if exact_answer checker [ init; bad ] = Cnf.Checker.Yes then finish (falsified 0)
-  else begin
+  match exact_answer checker [ init; bad ] with
+  | Cnf.Checker.Yes -> finish (falsified 0)
+  | Cnf.Checker.Maybe ->
+    finish (Reachability.Out_of_budget { reason = budget_reason limits; frames = 0 })
+  | Cnf.Checker.No -> begin
     let reached = ref init in
     let frontier = ref init in
     let rec loop k =
+      (* per-frame governor poll, mirroring the backward engine *)
+      match Util.Limits.check_aig_nodes limits (Aig.num_nodes aig) with
+      | Some r ->
+        Obs.Trace_events.instant_args "reach.limit_stop" "frame" k;
+        finish
+          (Reachability.Out_of_budget
+             { reason = Util.Limits.resource_name r; frames = k - 1 })
+      | None ->
       if k > config.Reachability.max_iterations then
-        finish (Reachability.Out_of_budget "iteration limit")
+        finish (Reachability.Out_of_budget { reason = "iteration limit"; frames = k - 1 })
       else begin
         let step_watch = Util.Stopwatch.start () in
         Obs.Trace_events.begin_args "reach.frame" "frame" k;
@@ -163,24 +194,33 @@ let run ?(config = Reachability.default) model =
         Obs.Progress.frame ~index:it.Reachability.index ~nodes:it.Reachability.frontier_size;
         iterations := it :: !iterations;
         Obs.Trace_events.end_args "reach.frame" "frontier_size" fsize;
-        if exact_answer checker [ img; bad ] = Cnf.Checker.Yes then begin
+        match exact_answer checker [ img; bad ] with
+        | Cnf.Checker.Yes ->
           Obs.Trace_events.instant_args "reach.falsified" "frame" k;
           finish (falsified k)
-        end
-        else if exact_answer checker [ img; Aig.not_ !reached ] = Cnf.Checker.No then begin
-          (* forward certificate: the reached set itself is inductive,
-             contains the initial states, and avoids every bad state *)
-          let invariant =
-            if bad_clean && !aux_vars = [] then Some reached' else None
-          in
-          Obs.Trace_events.instant_args "reach.proved" "frame" k;
-          finish ?invariant Reachability.Proved
-        end
-        else begin
-          frontier := Aig.and_ aig img (Aig.not_ !reached);
-          reached := reached';
-          loop (k + 1)
-        end
+        | Cnf.Checker.Maybe ->
+          (* an undecided image∩bad test: neither this frame's hit nor a
+             later Proved can be trusted — stop with the anytime verdict *)
+          Obs.Trace_events.instant_args "reach.limit_stop" "frame" k;
+          finish (Reachability.Out_of_budget { reason = budget_reason limits; frames = k })
+        | Cnf.Checker.No -> (
+          match exact_answer checker [ img; Aig.not_ !reached ] with
+          | Cnf.Checker.No ->
+            (* forward certificate: the reached set itself is inductive,
+               contains the initial states, and avoids every bad state *)
+            let invariant =
+              if bad_clean && !aux_vars = [] then Some reached' else None
+            in
+            Obs.Trace_events.instant_args "reach.proved" "frame" k;
+            finish ?invariant Reachability.Proved
+          | Cnf.Checker.Maybe ->
+            (* an undecided fixpoint test can never be read as closure *)
+            Obs.Trace_events.instant_args "reach.limit_stop" "frame" k;
+            finish (Reachability.Out_of_budget { reason = budget_reason limits; frames = k })
+          | Cnf.Checker.Yes ->
+            frontier := Aig.and_ aig img (Aig.not_ !reached);
+            reached := reached';
+            loop (k + 1))
       end
     in
     loop 1

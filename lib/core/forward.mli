@@ -13,6 +13,8 @@
     Shares the result/verdict/config types of {!Reachability}; the
     [sweep_frontier] and [use_reached_dc] options apply unchanged. *)
 
-(** [run ?config m] — forward traversal from the initial states until a
-    bad state is hit or a fix-point proves the property. *)
-val run : ?config:Reachability.config -> Netlist.Model.t -> Reachability.result
+(** [run ?config ?limits m] — forward traversal from the initial states
+    until a bad state is hit or a fix-point proves the property.
+    [limits] follows the contract of {!Reachability.run}. *)
+val run :
+  ?config:Reachability.config -> ?limits:Util.Limits.t -> Netlist.Model.t -> Reachability.result

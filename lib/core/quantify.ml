@@ -8,6 +8,7 @@ let obs_independent = Obs.counter "quantify.vars.independent"
 let obs_cofactor_size = Obs.histogram "quantify.cofactor_size"
 let obs_result_size = Obs.histogram "quantify.result_size"
 let obs_saved = Obs.counter "quantify.nodes_saved_vs_naive"
+let obs_limit_fallbacks = Obs.counter "limits.quantify_fallbacks"
 
 type config = {
   sweep : Sweep.Sweeper.config;
@@ -88,8 +89,20 @@ let one ?(config = default) ?bank aig checker ~prng l v =
     let f0 = Aig.cofactor aig l ~v ~phase:false in
     let f1 = Aig.cofactor aig l ~v ~phase:true in
     let size_naive = Aig.size aig (Aig.or_ aig f0 f1) in
+    (* governor tripped: fall back to the naive cofactor disjunction —
+       sweeping, don't-care optimization and rewriting all spend SAT or
+       BDD effort the budget no longer covers. The growth budget below
+       still applies, so partial quantification stays partial. *)
+    let degraded = Util.Limits.check (Cnf.Checker.limits checker) <> None in
+    if degraded then begin
+      Obs.incr obs_limit_fallbacks;
+      Obs.Trace_events.instant_args "quantify.limit_fallback" "var" v
+    end;
     (* merge phase on the joint cone of the two cofactors *)
-    let run_sweep = config.sweep.Sweep.Sweeper.sat <> None || config.sweep.Sweep.Sweeper.bdd_node_limit > 0 in
+    let run_sweep =
+      (not degraded)
+      && (config.sweep.Sweep.Sweeper.sat <> None || config.sweep.Sweep.Sweeper.bdd_node_limit > 0)
+    in
     let (f0, f1), sweep_report =
       if not run_sweep then ((f0, f1), None)
       else begin
@@ -103,7 +116,7 @@ let one ?(config = default) ?bank aig checker ~prng l v =
     in
     (* optimization phase on the disjunction *)
     let result, dc_report =
-      if config.use_dontcare then begin
+      if config.use_dontcare && not degraded then begin
         let g, report =
           Synth.Dontcare.disjunction ~config:config.dontcare ?bank aig checker ~prng f0 f1
         in
@@ -112,7 +125,8 @@ let one ?(config = default) ?bank aig checker ~prng l v =
       else (Aig.or_ aig f0 f1, None)
     in
     let result =
-      if config.use_rewrite then fst (Synth.Rewrite.resubstitute aig result) else result
+      if config.use_rewrite && not degraded then fst (Synth.Rewrite.resubstitute aig result)
+      else result
     in
     let size_after = Aig.size aig result in
     let aborted = not (within_budget config ~before:size_before ~after:size_after) in
@@ -162,10 +176,15 @@ let block ?(config = default) ?bank aig checker ~prng l ~vars =
           !c)
       |> List.sort_uniq Int.compare
     in
+    (* same degradation ladder as [one]: once the governor trips, the
+       block collapses to the plain disjunction of the cofactors *)
+    let degraded = Util.Limits.check (Cnf.Checker.limits checker) <> None in
+    if degraded then Obs.incr obs_limit_fallbacks;
     (* joint merge phase across every cofactor at once *)
     let cofactors =
       let run_sweep =
-        config.sweep.Sweep.Sweeper.sat <> None || config.sweep.Sweep.Sweeper.bdd_node_limit > 0
+        (not degraded)
+        && (config.sweep.Sweep.Sweeper.sat <> None || config.sweep.Sweep.Sweeper.bdd_node_limit > 0)
       in
       if not run_sweep then cofactors
       else
@@ -174,7 +193,7 @@ let block ?(config = default) ?bank aig checker ~prng l ~vars =
     in
     (* balanced disjunction tree, each join optimized under mutual DCs *)
     let join a b =
-      if config.use_dontcare then
+      if config.use_dontcare && not degraded then
         fst (Synth.Dontcare.disjunction ~config:config.dontcare ?bank aig checker ~prng a b)
       else Aig.or_ aig a b
     in

@@ -1,7 +1,7 @@
 type verdict =
   | Proved
   | Falsified of { depth : int; trace : Trace.t option }
-  | Out_of_budget of string
+  | Out_of_budget of { reason : string; frames : int }
 
 (* Per-frame accounting. The iteration span is recorded from the step
    stopwatch already running (the loop is tail-recursive, so a [with_span]
@@ -54,20 +54,34 @@ let default =
 let pp_verdict ppf = function
   | Proved -> Format.pp_print_string ppf "PROVED"
   | Falsified { depth; _ } -> Format.fprintf ppf "FALSIFIED (depth %d)" depth
-  | Out_of_budget why -> Format.fprintf ppf "UNDECIDED (%s)" why
+  | Out_of_budget { reason; frames } ->
+    Format.fprintf ppf "UNDECIDED (%s after %d frames)" reason frames
 
 let pp_result ppf r =
   Format.fprintf ppf "%a  iterations=%d peak-frontier=%d sat-queries=%d %.3fs" pp_verdict
     r.verdict (List.length r.iterations) r.peak_frontier r.sat_queries r.total_seconds
 
-(* decide exactly: containment and intersection tests must not be budgeted *)
+(* decide exactly: containment and intersection tests must not be budgeted
+   per query. A run-wide governor can still leave them [Maybe] — the caller
+   must then degrade to [Out_of_budget], never treat the answer as No. *)
 let exact_answer checker lits =
   Cnf.Checker.set_conflict_limit checker None;
   Cnf.Checker.satisfiable checker lits
 
+(* Why a certification query came back [Maybe]: the tripped resource, or
+   the conflict pool when it is merely dry (a dry pool only trips once a
+   query actually draws from it). *)
+let budget_reason limits =
+  match Util.Limits.exhausted limits with
+  | Some r -> Util.Limits.resource_name r
+  | None -> Util.Limits.resource_name Util.Limits.Conflicts
+
 (* Find the exact counterexample depth at or above [from_depth] (the
    reached-set don't-care option can make the traversal's hit iteration a
-   lower bound) and extract a trace. *)
+   lower bound) and extract a trace. A [Maybe] — possible once a resource
+   governor has drained the conflict pool or the deadline — must STOP the
+   search: skipping past an undecided depth could certify a later depth
+   as "the" counterexample depth, which would be wrong. *)
 let find_cex model checker ~from_depth ~limit =
   let unroll = Unroll.create model in
   let rec search d =
@@ -76,17 +90,21 @@ let find_cex model checker ~from_depth ~limit =
       match exact_answer checker [ Unroll.bad_at unroll d ] with
       | Cnf.Checker.Yes ->
         Some (d, Unroll.trace_from_model unroll ~depth:d ~value:(Cnf.Checker.model_var checker))
-      | Cnf.Checker.No | Cnf.Checker.Maybe -> search (d + 1)
+      | Cnf.Checker.No -> search (d + 1)
+      | Cnf.Checker.Maybe -> None
   in
   search from_depth
 
 let sum_naive reports =
   List.fold_left (fun acc r -> acc + r.Quantify.size_naive) 0 reports
 
-let run ?(config = default) model =
+let run ?(config = default) ?(limits = Util.Limits.unlimited) model =
   let watch = Util.Stopwatch.start () in
+  Obs.Progress.begin_run ();
+  let limits = Obs.Limits.arm limits in
   let aig = Netlist.Model.aig model in
   let checker = Cnf.Checker.create aig in
+  Cnf.Checker.set_limits checker limits;
   let prng = Util.Prng.create config.seed in
   (* one pattern bank for the whole traversal: counterexamples learned in
      any frame keep refuting merge candidates in every later frame *)
@@ -128,25 +146,42 @@ let run ?(config = default) model =
   let b0_clean = b0_result.Quantify.kept = [] in
   peak := Aig.size aig b0;
   let falsified hit_iteration =
-    let depth, trace =
-      if config.make_trace || config.use_reached_dc then
-        match
-          find_cex model checker ~from_depth:hit_iteration
-            ~limit:(hit_iteration + config.max_iterations + 64)
-        with
-        | Some (d, t) -> (d, if config.make_trace then Some t else None)
-        | None -> (hit_iteration, None)
-      else (hit_iteration, None)
-    in
-    Falsified { depth; trace }
+    if config.make_trace || config.use_reached_dc then
+      match
+        find_cex model checker ~from_depth:hit_iteration
+          ~limit:(hit_iteration + config.max_iterations + 64)
+      with
+      | Some (d, t) -> Falsified { depth = d; trace = (if config.make_trace then Some t else None) }
+      | None -> (
+        (* with the reached-set don't-care the hit iteration is only a
+           lower bound on the depth; if the governor kept the depth scan
+           from confirming it, reporting it would risk a wrong depth —
+           degrade to [Out_of_budget] instead *)
+        match Util.Limits.exhausted limits with
+        | Some r when config.use_reached_dc ->
+          Out_of_budget { reason = Util.Limits.resource_name r; frames = hit_iteration }
+        | Some _ | None -> Falsified { depth = hit_iteration; trace = None })
+    else Falsified { depth = hit_iteration; trace = None }
   in
-  if exact_answer checker [ init; b0 ] = Cnf.Checker.Yes then finish (falsified 0)
-  else begin
+  match exact_answer checker [ init; b0 ] with
+  | Cnf.Checker.Yes -> finish (falsified 0)
+  | Cnf.Checker.Maybe ->
+    finish (Out_of_budget { reason = budget_reason limits; frames = 0 })
+  | Cnf.Checker.No -> begin
     let reached = ref b0 in
     let frontier = ref b0 in
     let aux_vars = ref [] in
     let rec loop k =
-      if k > config.max_iterations then finish (Out_of_budget "iteration limit")
+      (* anytime behaviour: every frame starts with a governor poll (the
+         AIG grows monotonically, so node-ceiling checks belong here) and
+         a tripped run reports how deep it got before degrading *)
+      match Util.Limits.check_aig_nodes limits (Aig.num_nodes aig) with
+      | Some r ->
+        Obs.Trace_events.instant_args "reach.limit_stop" "frame" k;
+        finish (Out_of_budget { reason = Util.Limits.resource_name r; frames = k - 1 })
+      | None ->
+      if k > config.max_iterations then
+        finish (Out_of_budget { reason = "iteration limit"; frames = k - 1 })
       else begin
         let step_watch = Util.Stopwatch.start () in
         Obs.Trace_events.begin_args "reach.frame" "frame" k;
@@ -183,37 +218,37 @@ let run ?(config = default) model =
         in
         let fsize = Aig.size aig new_frontier in
         if fsize > !peak then peak := fsize;
-        let hit_init = exact_answer checker [ init; new_frontier ] = Cnf.Checker.Yes in
-        if hit_init then begin
+        let record ~reached_size =
           push_iteration
             {
               index = k;
               frontier_size = fsize;
-              reached_size = Aig.size aig !reached;
+              reached_size;
               eliminated_inputs = List.length pre.Preimage.eliminated;
               kept_inputs = List.length pre.Preimage.kept;
               naive_size = sum_naive pre.Preimage.reports;
               seconds = Util.Stopwatch.elapsed step_watch;
             };
-          Obs.Trace_events.end_args "reach.frame" "frontier_size" fsize;
+          Obs.Trace_events.end_args "reach.frame" "frontier_size" fsize
+        in
+        match exact_answer checker [ init; new_frontier ] with
+        | Cnf.Checker.Yes ->
+          record ~reached_size:(Aig.size aig !reached);
           Obs.Trace_events.instant_args "reach.falsified" "frame" k;
           finish (falsified k)
-        end
-        else begin
-          let no_new = exact_answer checker [ new_frontier; Aig.not_ !reached ] = Cnf.Checker.No in
+        | Cnf.Checker.Maybe ->
+          (* the intersection-with-init test is the falsification
+             certificate: undecided means neither this frame's hit nor any
+             later Proved can be trusted — stop with the anytime verdict *)
+          record ~reached_size:(Aig.size aig !reached);
+          Obs.Trace_events.instant_args "reach.limit_stop" "frame" k;
+          finish (Out_of_budget { reason = budget_reason limits; frames = k })
+        | Cnf.Checker.No -> (
+          let no_new = exact_answer checker [ new_frontier; Aig.not_ !reached ] in
           let reached' = Aig.or_ aig !reached new_frontier in
-          push_iteration
-            {
-              index = k;
-              frontier_size = fsize;
-              reached_size = Aig.size aig reached';
-              eliminated_inputs = List.length pre.Preimage.eliminated;
-              kept_inputs = List.length pre.Preimage.kept;
-              naive_size = sum_naive pre.Preimage.reports;
-              seconds = Util.Stopwatch.elapsed step_watch;
-            };
-          Obs.Trace_events.end_args "reach.frame" "frontier_size" fsize;
-          if no_new then begin
+          record ~reached_size:(Aig.size aig reached');
+          match no_new with
+          | Cnf.Checker.No ->
             (* without residual variables the complement of the reached
                set is an inductive invariant: a checkable certificate *)
             let invariant =
@@ -221,15 +256,16 @@ let run ?(config = default) model =
             in
             Obs.Trace_events.instant_args "reach.proved" "frame" k;
             finish ?invariant Proved
-          end
-          else begin
+          | Cnf.Checker.Maybe ->
+            (* an undecided fixpoint test can never be read as closure *)
+            Obs.Trace_events.instant_args "reach.limit_stop" "frame" k;
+            finish (Out_of_budget { reason = budget_reason limits; frames = k })
+          | Cnf.Checker.Yes ->
             (* onion ring: keep only the genuinely new states in the next
                frontier to stop pre-images from re-deriving old ones *)
             frontier := Aig.and_ aig new_frontier (Aig.not_ !reached);
             reached := reached';
-            loop (k + 1)
-          end
-        end
+            loop (k + 1))
       end
     in
     loop 1

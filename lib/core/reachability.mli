@@ -16,7 +16,11 @@
 type verdict =
   | Proved (* fix-point without touching the initial states *)
   | Falsified of { depth : int; trace : Trace.t option }
-  | Out_of_budget of string (* iteration limit *)
+  | Out_of_budget of { reason : string; frames : int }
+      (* anytime answer: the iteration limit or a {!Util.Limits} resource
+         ([reason] names it) stopped the traversal after completing
+         [frames] pre-image frames. Never wrong — a run that cannot
+         certify its answer within budget lands here instead. *)
 
 type iteration = {
   index : int; (* 1-based pre-image count *)
@@ -60,5 +64,14 @@ val default : config
 val pp_verdict : Format.formatter -> verdict -> unit
 val pp_result : Format.formatter -> result -> unit
 
-(** [run ?config m] — verify the model's safety property. *)
-val run : ?config:config -> Netlist.Model.t -> result
+(** [run ?config ?limits m] — verify the model's safety property.
+
+    [limits] is a run-wide resource governor ({!Util.Limits}): the
+    traversal polls it at every frame boundary (deadline and AIG node
+    ceiling), binds it to the shared SAT checker (conflict pool) and the
+    sweeping stack (BDD node pool), and degrades gracefully — frames
+    completed before the trip are kept, the SAT-expensive optimizations
+    fall back to naive forms, and the verdict becomes {!Out_of_budget}
+    naming the tripped resource unless the run already holds a definite
+    answer. *)
+val run : ?config:config -> ?limits:Util.Limits.t -> Netlist.Model.t -> result

@@ -63,86 +63,113 @@ let write_file m path =
 
 (* ---------- reading ---------- *)
 
+exception Parse_error of { line : int; token : string; reason : string }
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error { line; token; reason } ->
+      Some
+        (Printf.sprintf "Aiger.Parse_error (line %d%s): %s" line
+           (if token = "" then "" else Printf.sprintf ", token %S" token)
+           reason)
+    | _ -> None)
+
+let parse_error ~line ~token reason = raise (Parse_error { line; token; reason })
+
 type header = { max_var : int; ni : int; nl : int; no : int; na : int }
 
-let parse_header line =
+(* parse tokens one by one so the diagnostic can name the offender *)
+let int_field ~lineno token =
+  match int_of_string_opt token with
+  | Some n -> n
+  | None -> parse_error ~line:lineno ~token "expected an integer"
+
+let parse_header ~lineno line =
   match String.split_on_char ' ' (String.trim line) with
-  | [ ("aag" | "aig"); m; i; l; o; a ] -> (
-    try
-      { max_var = int_of_string m; ni = int_of_string i; nl = int_of_string l;
-        no = int_of_string o; na = int_of_string a }
-    with Failure _ -> failwith "Aiger.read: bad header numbers")
-  | _ -> failwith "Aiger.read: expected 'aag M I L O A' header"
+  | [ ("aag" | "aig"); m; i; l; o; a ] ->
+    let f = int_field ~lineno in
+    { max_var = f m; ni = f i; nl = f l; no = f o; na = f a }
+  | _ -> parse_error ~line:lineno ~token:(String.trim line) "expected 'aag M I L O A' header"
 
 let ints_of_line ~lineno line =
-  try List.map int_of_string (String.split_on_char ' ' (String.trim line))
-  with Failure _ -> failwith (Printf.sprintf "Aiger.read: line %d: expected integers" lineno)
+  List.map (int_field ~lineno) (String.split_on_char ' ' (String.trim line))
 
 let read ~name text =
   if String.length text >= 4 && String.sub text 0 4 = "aig " then
-    failwith "Aiger.read: binary document; use read_binary (or read_file)";
+    parse_error ~line:1 ~token:"aig" "binary document; use read_binary (or read_file)";
   let lines = String.split_on_char '\n' text in
   let lines = Array.of_list lines in
-  if Array.length lines = 0 then failwith "Aiger.read: empty document";
-  let h = parse_header lines.(0) in
+  if Array.length lines = 0 then parse_error ~line:1 ~token:"" "empty document";
+  let h = parse_header ~lineno:1 lines.(0) in
   let expect_lines = 1 + h.ni + h.nl + h.no + h.na in
-  if Array.length lines < expect_lines then failwith "Aiger.read: truncated document";
+  if Array.length lines < expect_lines then
+    parse_error ~line:(Array.length lines) ~token:""
+      (Printf.sprintf "truncated document (expected %d lines)" expect_lines);
   let b = Builder.create name in
   let aig = Builder.aig b in
   (* aiger var -> our literal *)
   let lit_of_var : (int, Aig.lit) Hashtbl.t = Hashtbl.create 64 in
-  let our_lit al =
+  let our_lit ~line al =
     if al = 0 then Aig.false_
     else if al = 1 then Aig.true_
     else
       match Hashtbl.find_opt lit_of_var (al / 2) with
       | Some l -> if al land 1 = 1 then Aig.not_ l else l
-      | None -> failwith (Printf.sprintf "Aiger.read: undefined literal %d" al)
+      | None -> parse_error ~line ~token:(string_of_int al) "undefined literal"
   in
   (* inputs *)
   let idx = ref 1 in
   for _ = 1 to h.ni do
-    (match ints_of_line ~lineno:!idx lines.(!idx) with
+    (match ints_of_line ~lineno:(!idx + 1) lines.(!idx) with
     | [ l ] when l mod 2 = 0 && l > 0 -> Hashtbl.replace lit_of_var (l / 2) (Builder.input b)
-    | _ -> failwith (Printf.sprintf "Aiger.read: line %d: bad input line" !idx));
+    | _ ->
+      parse_error ~line:(!idx + 1) ~token:(String.trim lines.(!idx))
+        "expected an input line: one even positive literal");
     incr idx
   done;
   (* latches: allocate state vars first, connect after ANDs are read *)
   let pending = ref [] in
   for _ = 1 to h.nl do
-    (match ints_of_line ~lineno:!idx lines.(!idx) with
+    (match ints_of_line ~lineno:(!idx + 1) lines.(!idx) with
     | [ cur; next ] when cur mod 2 = 0 && cur > 0 ->
       let q = Builder.latch b ~init:false in
       Hashtbl.replace lit_of_var (cur / 2) q;
-      pending := (q, next) :: !pending
+      pending := (q, next, !idx + 1) :: !pending
     | [ cur; next; init ] when cur mod 2 = 0 && cur > 0 && (init = 0 || init = 1) ->
       let q = Builder.latch b ~init:(init = 1) in
       Hashtbl.replace lit_of_var (cur / 2) q;
-      pending := (q, next) :: !pending
-    | _ -> failwith (Printf.sprintf "Aiger.read: line %d: bad latch line" !idx));
+      pending := (q, next, !idx + 1) :: !pending
+    | _ ->
+      parse_error ~line:(!idx + 1) ~token:(String.trim lines.(!idx))
+        "expected a latch line: 'current next [init]'");
     incr idx
   done;
   (* outputs *)
   let outputs = ref [] in
   for _ = 1 to h.no do
-    (match ints_of_line ~lineno:!idx lines.(!idx) with
-    | [ l ] -> outputs := l :: !outputs
-    | _ -> failwith (Printf.sprintf "Aiger.read: line %d: bad output line" !idx));
+    (match ints_of_line ~lineno:(!idx + 1) lines.(!idx) with
+    | [ l ] -> outputs := (l, !idx + 1) :: !outputs
+    | _ ->
+      parse_error ~line:(!idx + 1) ~token:(String.trim lines.(!idx))
+        "expected an output line: one literal");
     incr idx
   done;
   (* and gates; aag files list them with defined operands (topological) *)
   for _ = 1 to h.na do
-    (match ints_of_line ~lineno:!idx lines.(!idx) with
+    (match ints_of_line ~lineno:(!idx + 1) lines.(!idx) with
     | [ lhs; r0; r1 ] when lhs mod 2 = 0 && lhs > 0 ->
-      let g = Aig.and_ aig (our_lit r0) (our_lit r1) in
+      let line = !idx + 1 in
+      let g = Aig.and_ aig (our_lit ~line r0) (our_lit ~line r1) in
       Hashtbl.replace lit_of_var (lhs / 2) g
-    | _ -> failwith (Printf.sprintf "Aiger.read: line %d: bad and line" !idx));
+    | _ ->
+      parse_error ~line:(!idx + 1) ~token:(String.trim lines.(!idx))
+        "expected an AND line: 'lhs rhs0 rhs1' with even positive lhs");
     incr idx
   done;
-  List.iter (fun (q, next) -> Builder.connect b q (our_lit next)) (List.rev !pending);
+  List.iter (fun (q, next, line) -> Builder.connect b q (our_lit ~line next)) (List.rev !pending);
   (match List.rev !outputs with
-  | bad :: _ -> Builder.set_property b (Aig.not_ (our_lit bad))
-  | [] -> failwith "Aiger.read: no output to use as the bad-state function");
+  | (bad, line) :: _ -> Builder.set_property b (Aig.not_ (our_lit ~line bad))
+  | [] -> parse_error ~line:1 ~token:"" "no output to use as the bad-state function");
   ignore h.max_var;
   Builder.finish b
 
@@ -225,17 +252,23 @@ let read_binary ~name text =
     if !pos < len then incr pos;
     line
   in
-  let h = parse_header (read_line ()) in
+  let h = parse_header ~lineno:1 (read_line ()) in
+  (* absolute 1-based line numbers in the textual prefix: header on line 1,
+     latch i on line 1+i, output i on line 1+L+i; the binary AND section
+     is reported against the line where it starts *)
+  let latch_line i = 1 + i in
+  let output_line i = 1 + h.nl + i in
+  let and_section_line = 1 + h.nl + h.no + 1 in
   let b = Builder.create name in
   let aig = Builder.aig b in
   let lit_of_var : (int, Aig.lit) Hashtbl.t = Hashtbl.create 64 in
-  let our_lit al =
+  let our_lit ~line al =
     if al = 0 then Aig.false_
     else if al = 1 then Aig.true_
     else
       match Hashtbl.find_opt lit_of_var (al / 2) with
       | Some l -> if al land 1 = 1 then Aig.not_ l else l
-      | None -> failwith (Printf.sprintf "Aiger.read_binary: undefined literal %d" al)
+      | None -> parse_error ~line ~token:(string_of_int al) "undefined literal"
   in
   (* implicit inputs: variables 1..I *)
   for i = 1 to h.ni do
@@ -244,28 +277,35 @@ let read_binary ~name text =
   (* latch lines: "next [init]", current literal implicit *)
   let pending = ref [] in
   for i = 1 to h.nl do
-    match ints_of_line ~lineno:i (read_line ()) with
+    let line_text = read_line () in
+    match ints_of_line ~lineno:(latch_line i) line_text with
     | [ next ] | [ next; 0 ] ->
       let q = Builder.latch b ~init:false in
       Hashtbl.replace lit_of_var (h.ni + i) q;
-      pending := (q, next) :: !pending
+      pending := (q, next, latch_line i) :: !pending
     | [ next; 1 ] ->
       let q = Builder.latch b ~init:true in
       Hashtbl.replace lit_of_var (h.ni + i) q;
-      pending := (q, next) :: !pending
-    | _ -> failwith "Aiger.read_binary: bad latch line"
+      pending := (q, next, latch_line i) :: !pending
+    | _ ->
+      parse_error ~line:(latch_line i) ~token:(String.trim line_text)
+        "expected a binary-format latch line: 'next [init]'"
   done;
   let outputs = ref [] in
   for i = 1 to h.no do
-    match ints_of_line ~lineno:i (read_line ()) with
-    | [ l ] -> outputs := l :: !outputs
-    | _ -> failwith "Aiger.read_binary: bad output line"
+    let line_text = read_line () in
+    match ints_of_line ~lineno:(output_line i) line_text with
+    | [ l ] -> outputs := (l, output_line i) :: !outputs
+    | _ ->
+      parse_error ~line:(output_line i) ~token:(String.trim line_text)
+        "expected an output line: one literal"
   done;
   (* binary AND section *)
   let read_leb128 () =
     let value = ref 0 and shift = ref 0 and continue = ref true in
     while !continue do
-      if !pos >= len then failwith "Aiger.read_binary: truncated AND section";
+      if !pos >= len then
+        parse_error ~line:and_section_line ~token:"" "truncated AND section";
       let byte = Char.code text.[!pos] in
       incr pos;
       value := !value lor ((byte land 0x7f) lsl !shift);
@@ -280,13 +320,17 @@ let read_binary ~name text =
     let delta1 = read_leb128 () in
     let r0 = lhs - delta0 in
     let r1 = r0 - delta1 in
-    if r0 < 0 || r1 < 0 then failwith "Aiger.read_binary: malformed deltas";
-    Hashtbl.replace lit_of_var (lhs / 2) (Aig.and_ aig (our_lit r0) (our_lit r1))
+    if r0 < 0 || r1 < 0 then
+      parse_error ~line:and_section_line
+        ~token:(Printf.sprintf "%d %d" delta0 delta1)
+        (Printf.sprintf "malformed deltas for AND %d" i);
+    Hashtbl.replace lit_of_var (lhs / 2)
+      (Aig.and_ aig (our_lit ~line:and_section_line r0) (our_lit ~line:and_section_line r1))
   done;
-  List.iter (fun (q, next) -> Builder.connect b q (our_lit next)) (List.rev !pending);
+  List.iter (fun (q, next, line) -> Builder.connect b q (our_lit ~line next)) (List.rev !pending);
   (match List.rev !outputs with
-  | bad :: _ -> Builder.set_property b (Aig.not_ (our_lit bad))
-  | [] -> failwith "Aiger.read_binary: no output to use as the bad-state function");
+  | (bad, line) :: _ -> Builder.set_property b (Aig.not_ (our_lit ~line bad))
+  | [] -> parse_error ~line:1 ~token:"" "no output to use as the bad-state function");
   Builder.finish b
 
 let write_binary_file m path =

@@ -6,12 +6,19 @@
     accepts both two- and three-field latch lines (two-field latches reset
     to 0) and takes output 0 as the bad-state function. *)
 
+(** Malformed input: [line] is the 1-based line number (for the binary
+    AND section, the line where that section starts), [token] the
+    offending token ([""] when the problem is not tied to one token) and
+    [reason] what was expected. A printer is registered with [Printexc],
+    so uncaught parse errors render readably. *)
+exception Parse_error of { line : int; token : string; reason : string }
+
 (** [write m] renders the model as an aag document. *)
 val write : Model.t -> string
 
 val write_file : Model.t -> string -> unit
 
-(** [read ~name s] parses an aag document. Fails with [Failure] and a
+(** [read ~name s] parses an aag document. Raises {!Parse_error} with a
     line-numbered diagnostic on malformed input. *)
 val read : name:string -> string -> Model.t
 

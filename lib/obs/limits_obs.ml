@@ -1,0 +1,32 @@
+(* Observability bridge for [Util.Limits]: the governor lives in [util]
+   (below this library), so it cannot emit metrics itself. [arm]
+   installs its notify hook to count fatal trips per resource and drop
+   a [limits.exhausted] instant on the trace timeline. The traversal
+   engines arm every governor they receive, so degradations are visible
+   in run reports and Perfetto regardless of who constructed it. *)
+
+let obs_exhausted = Registry.counter "limits.exhausted"
+let obs_deadline = Registry.counter "limits.exhausted.deadline"
+let obs_conflicts = Registry.counter "limits.exhausted.conflicts"
+let obs_aig = Registry.counter "limits.exhausted.aig_nodes"
+let obs_bdd = Registry.counter "limits.exhausted.bdd_nodes"
+
+let resource_counter = function
+  | Util.Limits.Deadline -> obs_deadline
+  | Util.Limits.Conflicts -> obs_conflicts
+  | Util.Limits.Aig_nodes -> obs_aig
+  | Util.Limits.Bdd_nodes -> obs_bdd
+
+(* stable resource encoding for the trace-instant argument *)
+let resource_index = function
+  | Util.Limits.Deadline -> 0
+  | Util.Limits.Conflicts -> 1
+  | Util.Limits.Aig_nodes -> 2
+  | Util.Limits.Bdd_nodes -> 3
+
+let arm l =
+  Util.Limits.set_notify l (fun r ->
+      Registry.incr obs_exhausted;
+      Registry.incr (resource_counter r);
+      Trace_events.instant_args "limits.exhausted" "resource" (resource_index r));
+  l

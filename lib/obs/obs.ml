@@ -9,4 +9,5 @@ module Json = Json
 module Trace_events = Trace_events
 module Progress = Progress
 module Regress = Regress
+module Limits = Limits_obs
 include Registry

@@ -233,11 +233,34 @@ module Progress : sig
       [channel] — default [stderr] — is a TTY). *)
   val start : ?channel:out_channel -> unit -> unit
 
+  (** Traversal-engine notification at run entry: restarts the elapsed
+      clock (and terminates any in-place line), so back-to-back runs in
+      one process never report stale elapsed times. A no-op unless
+      armed. *)
+  val begin_run : unit -> unit
+
   (** Notification from the traversal engines; a no-op unless armed. *)
   val frame : index:int -> nodes:int -> unit
 
   (** Terminate the in-place line and disarm. *)
   val finish : unit -> unit
+end
+
+(** {1 Resource-governor bridge}
+
+    [Util.Limits] lives below this library, so it cannot emit metrics
+    itself; {!Limits.arm} installs its notify hook. The counters are
+    [limits.exhausted] (total fatal trips) and
+    [limits.exhausted.{deadline,conflicts,aig_nodes,bdd_nodes}], plus a
+    [limits.exhausted] trace instant whose [resource] argument encodes
+    the tripped resource (0 deadline, 1 conflicts, 2 aig, 3 bdd). *)
+
+module Limits : sig
+  (** Install the metric-emitting notify hook on a governor and return
+      it. The traversal engines arm every governor they receive, so
+      explicit arming is only needed for governors used outside an
+      engine run. *)
+  val arm : Util.Limits.t -> Util.Limits.t
 end
 
 (** {1 Bench regression detection}

@@ -41,6 +41,17 @@ let emit line =
 
 let frame ~index ~nodes = if !active then emit (render ~index ~nodes)
 
+(* Traversal engines notify here at run entry: without it, back-to-back
+   runs in one process (bench rows, tests) would report elapsed times
+   measured from the single explicit [start] call — stale by however
+   long the earlier runs took. *)
+let begin_run () =
+  if !active then begin
+    watch := Util.Stopwatch.start ();
+    if !is_tty && !last_width > 0 then Printf.fprintf !out "\n%!";
+    last_width := 0
+  end
+
 let finish () =
   if !active then begin
     if !is_tty && !last_width > 0 then Printf.fprintf !out "\n%!";

@@ -87,11 +87,11 @@ let grow () =
     copy (fun n -> Array.make n 0) (fun o f n -> Array.blit o 0 f 0 n) !arg_vals;
   capacity := new_cap
 
+(* [Util.Stopwatch] is monotonic (CLOCK_MONOTONIC), so elapsed times
+   are non-decreasing by construction — no clamping needed. [last_ts]
+   is kept for closing unbalanced begins at export time. *)
 let now_us () =
   let t = Util.Stopwatch.elapsed !epoch *. 1e6 in
-  (* gettimeofday is not monotonic; the trace format requires
-     non-decreasing timestamps, so clamp *)
-  let t = if t < !last_ts then !last_ts else t in
   last_ts := t;
   t
 

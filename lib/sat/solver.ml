@@ -539,13 +539,22 @@ let pick_branch_var t =
   in
   go ()
 
-let solve_raw ?(assumptions = []) ?(conflict_limit = max_int) t =
+let solve_raw ?(assumptions = []) ?(conflict_limit = max_int) ?(limits = Util.Limits.unlimited) t =
   cancel_until t 0;
   t.failed <- [];
   if not t.ok then Unsat
+  else if Util.Limits.exhausted limits <> None then Unknown
   else begin
     let assumps = Array.of_list assumptions in
     let conflicts_at_entry = t.conflicts in
+    let limited = Util.Limits.is_limited limits in
+    (* the shared conflict pool tightens any per-call limit *)
+    let conflict_limit =
+      match Util.Limits.conflict_budget limits with
+      | Some pool -> min conflict_limit pool
+      | None -> conflict_limit
+    in
+    let polls = ref 0 in
     let restart_count = ref 0 in
     let budget = ref (restart_base * Util.Luby.term 1) in
     let conflicts_this_restart = ref 0 in
@@ -573,6 +582,15 @@ let solve_raw ?(assumptions = []) ?(conflict_limit = max_int) t =
         end
       end
       else if t.conflicts - conflicts_at_entry >= conflict_limit then begin
+        cancel_until t 0;
+        status := Some Unknown
+      end
+      else if
+        (* periodic deadline poll; cadence keeps the clock read off the
+           propagation fast path *)
+        (incr polls;
+         limited && !polls land 1023 = 0 && Util.Limits.check limits <> None)
+      then begin
         cancel_until t 0;
         status := Some Unknown
       end
@@ -619,19 +637,21 @@ let solve_raw ?(assumptions = []) ?(conflict_limit = max_int) t =
       end
     done;
     cancel_until t 0;
+    if limited then
+      Util.Limits.charge_conflicts limits (t.conflicts - conflicts_at_entry);
     match !status with Some s -> s | None -> Unknown
   end
 
-let solve ?assumptions ?conflict_limit t =
+let solve ?assumptions ?conflict_limit ?limits t =
   (* both observability paths share one wrapper; the plain call stays a
      two-flag check away so uninstrumented runs pay nothing *)
   if not (!Obs.enabled || !Obs.Trace_events.enabled) then
-    solve_raw ?assumptions ?conflict_limit t
+    solve_raw ?assumptions ?conflict_limit ?limits t
   else begin
     let d0 = t.decisions and p0 = t.propagations and c0 = t.conflicts and r0 = t.restarts in
     Obs.Trace_events.begin_ "sat.solve";
     let watch = Util.Stopwatch.start () in
-    let result = solve_raw ?assumptions ?conflict_limit t in
+    let result = solve_raw ?assumptions ?conflict_limit ?limits t in
     Obs.add_seconds obs_solve_span (Util.Stopwatch.elapsed watch);
     Obs.Trace_events.end_args "sat.solve" "conflicts" (t.conflicts - c0);
     Obs.incr obs_solve_calls;

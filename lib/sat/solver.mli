@@ -31,9 +31,15 @@ val add_clause : t -> Lit.t list -> bool
 (** [solve t ~assumptions] decides satisfiability of the clause database
     under the given temporary assumptions. [conflict_limit] (number of
     conflicts) makes the call budgeted: exceeding it yields [Unknown].
-    [Unsat] under non-empty assumptions means "unsatisfiable together with
-    these assumptions", not global unsatisfiability. *)
-val solve : ?assumptions:Lit.t list -> ?conflict_limit:int -> t -> result
+    [limits] binds the call to a run-wide resource governor: conflicts
+    consumed count against its shared pool (further tightening any
+    explicit [conflict_limit]), the deadline is polled periodically
+    during search, and a call entered after the governor has tripped
+    answers [Unknown] immediately. [Unsat] under non-empty assumptions
+    means "unsatisfiable together with these assumptions", not global
+    unsatisfiability. *)
+val solve :
+  ?assumptions:Lit.t list -> ?conflict_limit:int -> ?limits:Util.Limits.t -> t -> result
 
 (** Model access after a [Sat] answer; [None] for variables the model left
     unconstrained. *)

@@ -1,6 +1,7 @@
 type result = {
   merges : (int * Aig.lit) list;
   nodes_built : int;
+  bdd_nodes : int;
   aborted : bool;
 }
 
@@ -51,4 +52,9 @@ let run aig ~roots ~max_nodes =
           (Aig.cone aig roots))
   in
   (match result with Ok () -> () | Error `Node_limit -> aborted := true);
-  { merges = List.rev !merges; nodes_built = !built; aborted = !aborted }
+  {
+    merges = List.rev !merges;
+    nodes_built = !built;
+    bdd_nodes = Bdd.num_nodes man;
+    aborted = !aborted;
+  }

@@ -8,6 +8,7 @@
 type result = {
   merges : (int * Aig.lit) list; (* node -> equivalent representative literal *)
   nodes_built : int; (* AIG nodes that received a BDD *)
+  bdd_nodes : int; (* BDD manager nodes created — what a node pool is charged *)
   aborted : bool; (* true when the quota stopped construction *)
 }
 

@@ -20,6 +20,8 @@ let obs_forward_runs = Obs.counter "sweep.sat.forward_runs"
 let obs_backward_runs = Obs.counter "sweep.sat.backward_runs"
 let obs_refinements = Obs.counter "sweep.sim.refinements"
 let obs_cone_size = Obs.histogram "sweep.cone_size"
+let obs_bdd_stage_skips = Obs.counter "limits.bdd_stage_skips"
+let obs_sat_stage_breaks = Obs.counter "limits.sat_stage_breaks"
 
 type config = {
   sim_rounds : int;
@@ -89,6 +91,7 @@ end
 
 let run ?(config = default) ?bank aig checker ~prng ~roots =
   let watch = Util.Stopwatch.start () in
+  let limits = Cnf.Checker.limits checker in
   let strash_before = (Aig.stats aig).Aig.strash_hits in
   let mm = Merge_map.create () in
   let cone_size = Aig.size_list aig roots in
@@ -100,12 +103,31 @@ let run ?(config = default) ?bank aig checker ~prng ~roots =
   let initial_classes = Sim.classes sim in
   let candidate_classes = List.length initial_classes in
   let candidate_literals = List.fold_left (fun acc c -> acc + List.length c) 0 initial_classes in
-  (* stage 3: BDD sweeping *)
+  (* stage 3: BDD sweeping. The governor's BDD node pool tightens the
+     per-sweep quota; a deadline or AIG-node trip skips the stage
+     outright, while a conflict-pool trip does not (BDDs are SAT-free,
+     so they are exactly what is left to sweep with). *)
   let bdd_merges, bdd_aborted =
+    let stage_quota =
+      match Util.Limits.bdd_budget limits with
+      | Some pool -> min config.bdd_node_limit pool
+      | None -> config.bdd_node_limit
+    in
+    let fatal_skip =
+      match Util.Limits.check limits with
+      | Some (Util.Limits.Deadline | Util.Limits.Aig_nodes | Util.Limits.Bdd_nodes) -> true
+      | Some Util.Limits.Conflicts | None -> false
+    in
     if config.bdd_node_limit <= 0 then (0, false)
+    else if stage_quota <= 0 || fatal_skip then begin
+      Obs.incr obs_bdd_stage_skips;
+      Obs.Trace_events.instant "sweep.bdd.limit_skip";
+      (0, false)
+    end
     else begin
       Obs.Trace_events.begin_ "sweep.bdd";
-      let res = Bdd_sweep.run aig ~roots ~max_nodes:config.bdd_node_limit in
+      let res = Bdd_sweep.run aig ~roots ~max_nodes:stage_quota in
+      Util.Limits.charge_bdd_nodes limits res.bdd_nodes;
       List.iter (fun (n, rep) -> Merge_map.union mm (Aig.lit_of_node n) rep) res.merges;
       if res.aborted then Obs.Trace_events.instant "sweep.bdd.abort";
       Obs.Trace_events.end_args "sweep.bdd" "merges" (List.length res.merges);
@@ -152,6 +174,12 @@ let run ?(config = default) ?bank aig checker ~prng ~roots =
       in
       let rec process = function
         | [] -> ()
+        | _ :: _ when Util.Limits.check limits <> None ->
+          (* governor tripped mid-stage: abandon the remaining compare
+             points but keep every merge already proven *)
+          Obs.incr obs_sat_stage_breaks;
+          Obs.Trace_events.instant "sweep.sat.limit_break";
+          progress := false
         | (repr, m) :: rest ->
           let ra = Merge_map.find_lit mm repr and rb = Merge_map.find_lit mm m in
           if Aig.node_of_lit ra = Aig.node_of_lit rb then process rest

@@ -1,0 +1,84 @@
+type resource = Deadline | Conflicts | Aig_nodes | Bdd_nodes
+
+type t = {
+  started : Stopwatch.t;
+  deadline : float option; (* absolute monotonic time *)
+  mutable conflicts_left : int;
+  conflicts_limited : bool;
+  max_aig_nodes : int option;
+  mutable bdd_left : int;
+  bdd_limited : bool;
+  mutable tripped : resource option; (* sticky: the first fatal trip *)
+  mutable notify : resource -> unit;
+}
+
+let make ?timeout ?max_conflicts ?max_aig_nodes ?max_bdd_nodes () =
+  let started = Stopwatch.start () in
+  {
+    started;
+    deadline = Option.map (fun s -> Stopwatch.now () +. s) timeout;
+    conflicts_left = Option.value max_conflicts ~default:max_int;
+    conflicts_limited = max_conflicts <> None;
+    max_aig_nodes;
+    bdd_left = Option.value max_bdd_nodes ~default:max_int;
+    bdd_limited = max_bdd_nodes <> None;
+    tripped = None;
+    notify = ignore;
+  }
+
+let unlimited = make ()
+let create = make
+
+let is_limited t =
+  t.deadline <> None || t.conflicts_limited || t.max_aig_nodes <> None || t.bdd_limited
+
+let exhausted t = t.tripped
+
+let resource_name = function
+  | Deadline -> "deadline"
+  | Conflicts -> "conflict pool"
+  | Aig_nodes -> "aig node ceiling"
+  | Bdd_nodes -> "bdd node pool"
+
+let pp_resource ppf r = Format.pp_print_string ppf (resource_name r)
+
+let trip t r =
+  match t.tripped with
+  | Some _ -> ()
+  | None ->
+    t.tripped <- Some r;
+    t.notify r
+
+let check t =
+  (match t.tripped, t.deadline with
+  | None, Some d -> if Stopwatch.now () >= d then trip t Deadline
+  | (Some _ | None), _ -> ());
+  t.tripped
+
+let check_aig_nodes t n =
+  (match t.tripped, t.max_aig_nodes with
+  | None, Some ceiling -> if n > ceiling then trip t Aig_nodes
+  | (Some _ | None), _ -> ());
+  check t
+
+let conflict_budget t = if t.conflicts_limited then Some (max 0 t.conflicts_left) else None
+
+let charge_conflicts t n =
+  if t.conflicts_limited && n > 0 then begin
+    t.conflicts_left <- t.conflicts_left - n;
+    if t.conflicts_left <= 0 then begin
+      t.conflicts_left <- 0;
+      trip t Conflicts
+    end
+  end
+
+let bdd_budget t = if t.bdd_limited then Some (max 0 t.bdd_left) else None
+
+let charge_bdd_nodes t n =
+  if t.bdd_limited && n > 0 then t.bdd_left <- max 0 (t.bdd_left - n)
+
+let remaining_time t =
+  Option.map (fun d -> Float.max 0. (d -. Stopwatch.now ())) t.deadline
+
+let elapsed t = Stopwatch.elapsed t.started
+let set_notify t f = t.notify <- f

@@ -1,0 +1,100 @@
+(** Unified per-run resource governor.
+
+    Every bounded-effort knob in the stack — the SAT conflict budget,
+    the BDD sweeping node limit, the quantification growth budget — is
+    local; this module adds the {e global} coordination: one object per
+    run carrying a monotonic wall-clock deadline, a shared SAT-conflict
+    pool, an AIG node ceiling and a BDD node pool, threaded through the
+    solver, the checker, the sweeper and every traversal engine.
+
+    Exhaustion is {e graceful}, never an exception: once a fatal
+    resource trips, the governor turns sticky-exhausted, budgeted
+    queries start answering [Maybe]/[Unknown], optimization stages are
+    skipped (keeping what they proved so far), and the engines return
+    an anytime verdict naming the tripped resource and the deepest
+    frame reached. Verdicts produced under any limit configuration are
+    sound: a degraded run may answer Unknown, never a wrong
+    Safe/Unsafe.
+
+    The BDD node pool is the one non-fatal resource: draining it only
+    disables further BDD sweeping (the engines whose {e primary}
+    representation is BDD promote it to a fatal trip themselves via
+    {!trip}).
+
+    Checks are cheap: {!exhausted} is a field read; {!check} adds one
+    monotonic clock read. All charging is single-threaded, like every
+    manager in this codebase. *)
+
+type resource = Deadline | Conflicts | Aig_nodes | Bdd_nodes
+
+type t
+
+(** A shared governor that never trips; charging it is a no-op. *)
+val unlimited : t
+
+(** [create ()] starts the deadline clock immediately. [timeout] is in
+    seconds from now; [max_conflicts] is the total SAT-conflict pool
+    for the whole run; [max_aig_nodes] bounds [Aig.num_nodes] of the
+    working manager; [max_bdd_nodes] is the cumulative BDD node pool
+    across all sweeping managers. Omitted resources are unlimited. *)
+val create :
+  ?timeout:float ->
+  ?max_conflicts:int ->
+  ?max_aig_nodes:int ->
+  ?max_bdd_nodes:int ->
+  unit ->
+  t
+
+(** [true] when at least one resource has a bound. *)
+val is_limited : t -> bool
+
+(** The sticky fatal state: the first resource that tripped, without
+    polling the clock. *)
+val exhausted : t -> resource option
+
+(** Poll the deadline (tripping [Deadline] when past due), then return
+    the sticky state. The per-frame / per-variable checkpoint. *)
+val check : t -> resource option
+
+(** [check_aig_nodes t n] additionally trips [Aig_nodes] when the
+    manager's node count [n] exceeds the ceiling. *)
+val check_aig_nodes : t -> int -> resource option
+
+(** Externally mark a resource exhausted (e.g. a BDD baseline engine
+    hitting the governor's node cap). First trip wins; later calls are
+    no-ops. *)
+val trip : t -> resource -> unit
+
+(** {2 The SAT-conflict pool} *)
+
+(** Remaining conflicts usable by the next query ([None] = unlimited).
+    [Some 0] once the pool is dry. *)
+val conflict_budget : t -> int option
+
+(** Draw [n] conflicts from the pool; trips [Conflicts] when it runs
+    dry. No-op when the pool is unlimited. *)
+val charge_conflicts : t -> int -> unit
+
+(** {2 The BDD node pool (non-fatal)} *)
+
+val bdd_budget : t -> int option
+val charge_bdd_nodes : t -> int -> unit
+
+(** {2 Introspection} *)
+
+(** Seconds left before the deadline ([None] = no deadline); never
+    negative. *)
+val remaining_time : t -> float option
+
+(** Seconds since [create]. *)
+val elapsed : t -> float
+
+val resource_name : resource -> string
+val pp_resource : Format.formatter -> resource -> unit
+
+(** [set_notify t f] installs a callback fired exactly once per
+    governor, on the first fatal trip ({!Bdd_nodes} included when
+    promoted via {!trip}). The observability layer uses it to emit
+    [limits.*] counters and the [limits.exhausted] trace instant
+    without this module depending on it. *)
+val set_notify : t -> (resource -> unit) -> unit

@@ -1,0 +1,38 @@
+/* Monotonic wall clock for Util.Stopwatch.
+
+   The OCaml Unix library exposes only gettimeofday, which jumps under
+   NTP adjustment and manual clock changes; elapsed times and deadlines
+   built on it can go negative.  POSIX CLOCK_MONOTONIC never steps
+   backwards, so every duration and every Util.Limits deadline is
+   derived from it.  The value returned is seconds since an arbitrary
+   epoch (boot, typically) as a double — only differences are
+   meaningful. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+#if defined(_WIN32)
+#include <windows.h>
+#endif
+
+CAMLprim value util_monotonic_now(value unit)
+{
+  (void)unit;
+#if defined(_WIN32)
+  /* QPC is the Windows monotonic clock */
+  LARGE_INTEGER freq, count;
+  QueryPerformanceFrequency(&freq);
+  QueryPerformanceCounter(&count);
+  return caml_copy_double((double)count.QuadPart / (double)freq.QuadPart);
+#else
+  struct timespec ts;
+#if defined(CLOCK_MONOTONIC)
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+#endif
+  /* last resort: the realtime clock (still better than failing) */
+  clock_gettime(CLOCK_REALTIME, &ts);
+  return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+#endif
+}

@@ -1,7 +1,13 @@
+(* Durations come from CLOCK_MONOTONIC (see monotonic_stubs.c), not
+   gettimeofday: the wall clock steps under NTP and manual adjustment,
+   which made elapsed times — and any deadline built on them — able to
+   go negative or jump. Only differences of [now] are meaningful. *)
+external now : unit -> float = "util_monotonic_now"
+
 type t = float
 
-let start () = Unix.gettimeofday ()
-let elapsed t = Unix.gettimeofday () -. t
+let start () = now ()
+let elapsed t = now () -. t
 
 let time f =
   let t = start () in

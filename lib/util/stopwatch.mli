@@ -1,10 +1,18 @@
-(** Wall-clock timing for experiment reporting. *)
+(** Monotonic timing for experiment reporting and deadlines.
+
+    Backed by [CLOCK_MONOTONIC] (never steps backwards), so elapsed
+    times are non-negative and deadlines built on them cannot jump
+    under wall-clock adjustment. *)
 
 type t
 
+(** The raw monotonic clock, in seconds since an arbitrary epoch. Only
+    differences are meaningful. *)
+val now : unit -> float
+
 val start : unit -> t
 
-(** Elapsed seconds since [start]. *)
+(** Elapsed seconds since [start]; non-negative. *)
 val elapsed : t -> float
 
 (** [time f] runs [f ()] and returns its result with the elapsed seconds. *)

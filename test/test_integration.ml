@@ -125,8 +125,8 @@ let test_random_machines_cbq_decides () =
     let model = random_machine seed () in
     match (Cbq.Reachability.run model).Cbq.Reachability.verdict with
     | Cbq.Reachability.Proved | Cbq.Reachability.Falsified _ -> ()
-    | Cbq.Reachability.Out_of_budget why ->
-      Alcotest.fail (Printf.sprintf "seed %d undecided: %s" seed why)
+    | Cbq.Reachability.Out_of_budget { reason; _ } ->
+      Alcotest.fail (Printf.sprintf "seed %d undecided: %s" seed reason)
   done
 
 (* ---------- aiger roundtrip stability ---------- *)

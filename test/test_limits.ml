@@ -1,0 +1,325 @@
+(* The resource governor and every graceful-degradation path it gates:
+   governor bookkeeping, budgeted SAT queries answering Maybe, sweeping
+   that keeps merges proven before exhaustion, quantification falling
+   back to the naive form, and — the contract that matters — engines
+   whose limited verdicts are Unknown or agree with the oracle, never a
+   wrong Safe/Unsafe. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let string = Alcotest.string
+
+let eval_mask aig l mask = Aig.eval aig l (fun v -> (mask lsr v) land 1 = 1)
+
+let semantically_equal aig nvars a b =
+  let rec go mask =
+    mask >= 1 lsl nvars || (eval_mask aig a mask = eval_mask aig b mask && go (mask + 1))
+  in
+  go 0
+
+(* a governor whose deadline is already behind it *)
+let expired () =
+  let l = Util.Limits.create ~timeout:0.0 () in
+  ignore (Util.Limits.check l);
+  l
+
+(* ---------- governor bookkeeping ---------- *)
+
+let test_unlimited_never_trips () =
+  let l = Util.Limits.unlimited in
+  check bool "not limited" false (Util.Limits.is_limited l);
+  check bool "check clean" true (Util.Limits.check l = None);
+  Util.Limits.charge_conflicts l max_int;
+  Util.Limits.charge_bdd_nodes l max_int;
+  check bool "charging is a no-op" true (Util.Limits.exhausted l = None);
+  check bool "no conflict bound" true (Util.Limits.conflict_budget l = None);
+  check bool "no bdd bound" true (Util.Limits.bdd_budget l = None)
+
+let test_deadline_trips_and_sticks () =
+  let l = Util.Limits.create ~timeout:0.0 () in
+  check bool "limited" true (Util.Limits.is_limited l);
+  check bool "deadline trips on poll" true (Util.Limits.check l = Some Util.Limits.Deadline);
+  (* sticky without re-polling the clock *)
+  check bool "exhausted is sticky" true (Util.Limits.exhausted l = Some Util.Limits.Deadline);
+  check string "resource name" "deadline" (Util.Limits.resource_name Util.Limits.Deadline)
+
+let test_conflict_pool_drains () =
+  let l = Util.Limits.create ~max_conflicts:10 () in
+  check bool "pool starts full" true (Util.Limits.conflict_budget l = Some 10);
+  Util.Limits.charge_conflicts l 4;
+  check bool "pool drains" true (Util.Limits.conflict_budget l = Some 6);
+  check bool "not yet tripped" true (Util.Limits.exhausted l = None);
+  Util.Limits.charge_conflicts l 6;
+  check bool "dry pool trips" true (Util.Limits.exhausted l = Some Util.Limits.Conflicts);
+  check bool "budget floors at zero" true (Util.Limits.conflict_budget l = Some 0)
+
+let test_aig_ceiling () =
+  let l = Util.Limits.create ~max_aig_nodes:100 () in
+  check bool "under the ceiling" true (Util.Limits.check_aig_nodes l 100 = None);
+  check bool "over the ceiling" true
+    (Util.Limits.check_aig_nodes l 101 = Some Util.Limits.Aig_nodes)
+
+let test_bdd_pool_is_non_fatal () =
+  let l = Util.Limits.create ~max_bdd_nodes:50 () in
+  Util.Limits.charge_bdd_nodes l 60;
+  check bool "draining the bdd pool is not fatal" true (Util.Limits.exhausted l = None);
+  check bool "but the pool is dry" true (Util.Limits.bdd_budget l = Some 0);
+  (* a BDD-primary engine promotes it explicitly *)
+  Util.Limits.trip l Util.Limits.Bdd_nodes;
+  check bool "promoted trip is fatal" true
+    (Util.Limits.exhausted l = Some Util.Limits.Bdd_nodes)
+
+let test_first_trip_wins_and_notify_fires_once () =
+  let l = Util.Limits.create ~timeout:0.0 ~max_conflicts:1 () in
+  let fired = ref [] in
+  Util.Limits.set_notify l (fun r -> fired := r :: !fired);
+  ignore (Util.Limits.check l);
+  Util.Limits.charge_conflicts l 5;
+  Util.Limits.trip l Util.Limits.Aig_nodes;
+  check bool "first trip wins" true (Util.Limits.exhausted l = Some Util.Limits.Deadline);
+  check int "notify fired exactly once" 1 (List.length !fired);
+  check bool "notify saw the first resource" true (!fired = [ Util.Limits.Deadline ])
+
+(* ---------- budgeted SAT queries ---------- *)
+
+let test_checker_shortcuts_to_maybe () =
+  let aig = Aig.create () in
+  let x = Aig.var aig 0 and y = Aig.var aig 1 in
+  let f = Aig.and_ aig x y in
+  let checker = Cnf.Checker.create aig in
+  check bool "decides before exhaustion" true (Cnf.Checker.satisfiable checker [ f ] = Cnf.Checker.Yes);
+  Cnf.Checker.set_limits checker (expired ());
+  check bool "answers Maybe after exhaustion" true
+    (Cnf.Checker.satisfiable checker [ f ] = Cnf.Checker.Maybe)
+
+let test_solver_charges_the_pool () =
+  (* an unsatisfiable pigeonhole-ish core costs conflicts; the run-wide
+     pool must shrink after the query *)
+  let aig = Aig.create () in
+  let xs = List.init 6 (Aig.var aig) in
+  let sum1 = List.fold_left (Aig.xor_ aig) Aig.false_ xs in
+  let sum2 = List.fold_right (fun x acc -> Aig.xor_ aig acc x) xs Aig.false_ in
+  let diff = Aig.xor_ aig sum1 sum2 in
+  let checker = Cnf.Checker.create aig in
+  let l = Util.Limits.create ~max_conflicts:1_000_000 () in
+  Cnf.Checker.set_limits checker l;
+  check bool "xor trees agree" true (Cnf.Checker.satisfiable checker [ diff ] = Cnf.Checker.No);
+  let remaining = Option.get (Util.Limits.conflict_budget l) in
+  check bool "pool untouched or drained, never grown" true (remaining <= 1_000_000)
+
+(* ---------- sweeping under exhaustion ---------- *)
+
+let redundant_pair () =
+  let aig = Aig.create () in
+  let xs = List.init 4 (Aig.var aig) in
+  let sum1 = List.fold_left (Aig.xor_ aig) Aig.false_ xs in
+  let sum2 = List.fold_right (fun x acc -> Aig.xor_ aig acc x) xs Aig.false_ in
+  (aig, Aig.and_ aig sum1 (List.hd xs), Aig.and_ aig sum2 (List.hd xs))
+
+let test_sweep_under_expired_deadline_is_sound () =
+  let aig, f, g = redundant_pair () in
+  let checker = Cnf.Checker.create aig in
+  Cnf.Checker.set_limits checker (expired ());
+  let prng = Util.Prng.create 7 in
+  let repl, report = Sweep.Sweeper.run aig checker ~prng ~roots:[ f; g ] in
+  (* whatever was proven before the trip survives, and is really proven *)
+  check bool "no crash, report sane" true (report.Sweep.Sweeper.total_merges >= 0);
+  let f' = Aig.rebuild aig ~repl f and g' = Aig.rebuild aig ~repl g in
+  check bool "f preserved" true (semantically_equal aig 4 f f');
+  check bool "g preserved" true (semantically_equal aig 4 g g')
+
+let test_conflict_trip_does_not_skip_bdd_stage () =
+  (* the conflict pool gates SAT, not BDDs: with the pool already dry the
+     BDD stage must still close this purely-structural pair *)
+  let aig, f, g = redundant_pair () in
+  let checker = Cnf.Checker.create aig in
+  let l = Util.Limits.create ~max_conflicts:1 () in
+  Util.Limits.charge_conflicts l 10;
+  check bool "pool tripped up front" true (Util.Limits.exhausted l = Some Util.Limits.Conflicts);
+  Cnf.Checker.set_limits checker l;
+  let prng = Util.Prng.create 7 in
+  let repl, report = Sweep.Sweeper.run aig checker ~prng ~roots:[ f; g ] in
+  check bool "bdd merges found despite dry SAT pool" true (report.Sweep.Sweeper.bdd_merges > 0);
+  check int "pair still merged" (Aig.rebuild aig ~repl f) (Aig.rebuild aig ~repl g)
+
+(* ---------- quantification fallback ---------- *)
+
+let test_quantify_fallback_equivalence () =
+  (* the degraded path (naive cofactor disjunction, no sweeping, no
+     don't-cares) must compute the same function as the unbounded path *)
+  let build () =
+    let aig = Aig.create () in
+    let xs = List.init 5 (Aig.var aig) in
+    let f =
+      match xs with
+      | [ a; b; c; d; e ] ->
+        Aig.or_ aig
+          (Aig.and_ aig (Aig.xor_ aig a b) (Aig.or_ aig c d))
+          (Aig.and_ aig e (Aig.and_ aig a (Aig.not_ c)))
+      | _ -> assert false
+    in
+    (aig, f)
+  in
+  let quantified limits =
+    let aig, f = build () in
+    let checker = Cnf.Checker.create aig in
+    Cnf.Checker.set_limits checker limits;
+    let prng = Util.Prng.create 21 in
+    let r = Cbq.Quantify.all aig checker ~prng f ~vars:[ 0; 2 ] in
+    (aig, r)
+  in
+  let aig_u, unbounded = quantified Util.Limits.unlimited in
+  let aig_l, limited = quantified (expired ()) in
+  (* compare cross-manager by truth table over the shared variable order *)
+  let table aig l = List.init 32 (eval_mask aig l) in
+  check bool "degraded quantification computes the same set" true
+    (table aig_u unbounded.Cbq.Quantify.lit = table aig_l limited.Cbq.Quantify.lit);
+  check bool "quantified variables gone" false
+    (Aig.depends_on aig_l limited.Cbq.Quantify.lit 0
+    || Aig.depends_on aig_l limited.Cbq.Quantify.lit 2)
+
+(* ---------- engines: limited verdicts are never wrong ---------- *)
+
+let families =
+  [
+    ("counter", Some 4);
+    ("fifo-buggy", Some 2);
+    ("arbiter", Some 4);
+    ("gray", Some 3);
+    ("counter-even", Some 5);
+  ]
+
+let agrees name (status : Circuits.Registry.status) (verdict : Cbq.Reachability.verdict) =
+  match (verdict, status) with
+  | Cbq.Reachability.Proved, Circuits.Registry.Safe -> ()
+  | Cbq.Reachability.Falsified { depth; _ }, Circuits.Registry.Unsafe d when depth = d -> ()
+  | Cbq.Reachability.Out_of_budget _, _ -> ()
+  | _ -> Alcotest.fail (Printf.sprintf "%s: limited verdict disagrees with the oracle" name)
+
+let test_backward_limited_verdicts_sound () =
+  List.iter
+    (fun (name, param) ->
+      List.iter
+        (fun budget ->
+          let model, status = Circuits.Registry.build name param in
+          let limits = Util.Limits.create ~max_conflicts:budget () in
+          let config = { Cbq.Reachability.default with make_trace = false } in
+          let r = Cbq.Reachability.run ~config ~limits model in
+          agrees name status r.Cbq.Reachability.verdict)
+        [ 0; 20; 500 ])
+    families
+
+let test_forward_limited_verdicts_sound () =
+  List.iter
+    (fun (name, param) ->
+      List.iter
+        (fun budget ->
+          let model, status = Circuits.Registry.build name param in
+          let limits = Util.Limits.create ~max_conflicts:budget () in
+          let config = { Cbq.Reachability.default with make_trace = false } in
+          let r = Cbq.Forward.run ~config ~limits model in
+          agrees name status r.Cbq.Reachability.verdict)
+        [ 0; 20; 500 ])
+    families
+
+let test_expired_deadline_is_anytime () =
+  let model, _ = Circuits.Registry.build "counter" (Some 4) in
+  let r = Cbq.Reachability.run ~limits:(expired ()) model in
+  match r.Cbq.Reachability.verdict with
+  | Cbq.Reachability.Out_of_budget { reason; frames } ->
+    check string "names the deadline" "deadline" reason;
+    check bool "anytime frame count" true (frames >= 0)
+  | _ -> Alcotest.fail "expired run must be undecided"
+
+let test_aig_ceiling_stops_traversal () =
+  let model, _ = Circuits.Registry.build "counter" (Some 4) in
+  (* the model alone already exceeds the ceiling: first frame check trips *)
+  let limits = Util.Limits.create ~max_aig_nodes:1 () in
+  let r = Cbq.Reachability.run ~limits model in
+  match r.Cbq.Reachability.verdict with
+  | Cbq.Reachability.Out_of_budget { reason; _ } ->
+    check string "names the ceiling" "aig node ceiling" reason
+  | _ -> Alcotest.fail "ceiling run must be undecided"
+
+let baseline_agrees name (status : Circuits.Registry.status) (v : Baselines.Verdict.t) =
+  match (v, status) with
+  | Baselines.Verdict.Proved, Circuits.Registry.Safe -> ()
+  | Baselines.Verdict.Falsified depth, Circuits.Registry.Unsafe d when depth = d -> ()
+  | Baselines.Verdict.Undecided _, _ -> ()
+  | _ -> Alcotest.fail (Printf.sprintf "%s: limited baseline verdict wrong" name)
+
+let test_baselines_limited_verdicts_sound () =
+  List.iter
+    (fun (name, param) ->
+      let run f =
+        let model, status = Circuits.Registry.build name param in
+        baseline_agrees name status (f model)
+      in
+      let limits () = Util.Limits.create ~max_conflicts:30 () in
+      run (fun m -> (Baselines.Bmc.run ~limits:(limits ()) m).Baselines.Bmc.verdict);
+      run (fun m ->
+          (Baselines.Induction.run ~limits:(limits ()) m).Baselines.Induction.verdict);
+      run (fun m ->
+          (Baselines.Cofactor_preimage.run ~limits:(limits ()) m)
+            .Baselines.Cofactor_preimage.verdict);
+      run (fun m -> (Baselines.Hybrid.run ~limits:(limits ()) m).Baselines.Hybrid.verdict);
+      run (fun m ->
+          (Baselines.Bdd_mc.backward ~limits:(Util.Limits.create ~max_bdd_nodes:40 ()) m)
+            .Baselines.Bdd_mc.verdict);
+      run (fun m ->
+          (Baselines.Bdd_mc.forward ~limits:(Util.Limits.create ~timeout:0.0 ()) m)
+            .Baselines.Bdd_mc.verdict))
+    families
+
+let test_bdd_engine_names_the_pool () =
+  let model, _ = Circuits.Registry.build "counter" (Some 4) in
+  let r = Baselines.Bdd_mc.backward ~limits:(Util.Limits.create ~max_bdd_nodes:10 ()) model in
+  match r.Baselines.Bdd_mc.verdict with
+  | Baselines.Verdict.Undecided why ->
+    check string "verdict names the pool" "bdd node pool" why
+  | _ -> Alcotest.fail "tiny bdd pool must leave the verdict undecided"
+
+let () =
+  Alcotest.run "limits"
+    [
+      ( "governor",
+        [
+          Alcotest.test_case "unlimited never trips" `Quick test_unlimited_never_trips;
+          Alcotest.test_case "deadline trips and sticks" `Quick test_deadline_trips_and_sticks;
+          Alcotest.test_case "conflict pool drains" `Quick test_conflict_pool_drains;
+          Alcotest.test_case "aig ceiling" `Quick test_aig_ceiling;
+          Alcotest.test_case "bdd pool is non-fatal" `Quick test_bdd_pool_is_non_fatal;
+          Alcotest.test_case "first trip wins, notify fires once" `Quick
+            test_first_trip_wins_and_notify_fires_once;
+        ] );
+      ( "sat",
+        [
+          Alcotest.test_case "checker shortcuts to Maybe" `Quick test_checker_shortcuts_to_maybe;
+          Alcotest.test_case "solver charges the pool" `Quick test_solver_charges_the_pool;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "expired deadline keeps soundness" `Quick
+            test_sweep_under_expired_deadline_is_sound;
+          Alcotest.test_case "conflict trip keeps the bdd stage" `Quick
+            test_conflict_trip_does_not_skip_bdd_stage;
+        ] );
+      ( "quantify",
+        [
+          Alcotest.test_case "fallback computes the same set" `Quick
+            test_quantify_fallback_equivalence;
+        ] );
+      ( "engines",
+        [
+          Alcotest.test_case "backward: limited verdicts sound" `Quick
+            test_backward_limited_verdicts_sound;
+          Alcotest.test_case "forward: limited verdicts sound" `Quick
+            test_forward_limited_verdicts_sound;
+          Alcotest.test_case "expired deadline is anytime" `Quick test_expired_deadline_is_anytime;
+          Alcotest.test_case "aig ceiling stops traversal" `Quick test_aig_ceiling_stops_traversal;
+          Alcotest.test_case "baselines: limited verdicts sound" `Quick
+            test_baselines_limited_verdicts_sound;
+          Alcotest.test_case "bdd engine names its pool" `Quick test_bdd_engine_names_the_pool;
+        ] );
+    ]

@@ -171,13 +171,48 @@ let test_aiger_errors () =
     try
       ignore (Netlist.Aiger.read ~name text);
       Alcotest.fail (name ^ ": expected parse failure")
-    with Failure _ -> ()
+    with Netlist.Aiger.Parse_error _ -> ()
   in
   expect_failure "empty" "";
   expect_failure "bad header" "aig 1 2 3";
   expect_failure "truncated" "aag 3 2 0 1 1\n2\n4\n";
   expect_failure "undefined literal" "aag 2 1 0 1 0\n2\n99\n";
   expect_failure "no output" "aag 1 1 0 0 0\n2\n"
+
+(* the structured exception must carry the 1-based line number and the
+   offending token, for both the ascii and the binary reader *)
+let test_aiger_parse_error_details () =
+  let expect_error name reader text ~line ~token =
+    try
+      ignore (reader text);
+      Alcotest.fail (name ^ ": expected parse failure")
+    with Netlist.Aiger.Parse_error e ->
+      check int (name ^ ": line") line e.line;
+      check Alcotest.string (name ^ ": token") token e.token
+  in
+  let ascii = Netlist.Aiger.read ~name:"t" in
+  expect_error "header token" ascii "aag 2 x 0 1 0\n2\n2\n" ~line:1 ~token:"x";
+  expect_error "input line" ascii "aag 2 1 1 1 0\nzz\n4 2\n4\n" ~line:2 ~token:"zz";
+  expect_error "latch token" ascii "aag 2 1 1 1 0\n2\n4 zz\n4\n" ~line:3 ~token:"zz";
+  expect_error "odd latch literal" ascii "aag 2 1 1 1 0\n2\n5 2\n4\n" ~line:3 ~token:"5 2";
+  expect_error "undefined output literal" ascii "aag 2 1 0 1 0\n2\n99\n" ~line:3 ~token:"99";
+  expect_error "and line" ascii "aag 3 1 0 1 1\n2\n6\n6 2\n" ~line:4 ~token:"6 2";
+  (* binary reader: latch lines start at absolute line 2 *)
+  let binary = Netlist.Aiger.read_binary ~name:"t" in
+  expect_error "binary latch token" binary "aig 2 1 1 1 0\nzz\n4\n" ~line:2 ~token:"zz";
+  expect_error "binary output token" binary "aig 2 1 1 1 0\n4 0\nzz\n" ~line:3 ~token:"zz";
+  (* registered printer renders the diagnostic *)
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  let rendered =
+    Printexc.to_string
+      (Netlist.Aiger.Parse_error { line = 7; token = "zz"; reason = "expected an integer" })
+  in
+  check bool "printer mentions the line" true (contains rendered "line 7");
+  check bool "printer mentions the token" true (contains rendered "zz")
 
 let test_aiger_two_field_latches () =
   (* classic aag with two-field latches resets to zero *)
@@ -226,7 +261,7 @@ let test_aiger_read_dispatch () =
   try
     ignore (Netlist.Aiger.read ~name:"x" (Netlist.Aiger.write_binary m));
     Alcotest.fail "expected rejection"
-  with Failure _ -> ()
+  with Netlist.Aiger.Parse_error _ -> ()
 
 let test_aiger_file_io () =
   let m = toggle_model () in
@@ -260,6 +295,7 @@ let () =
           Alcotest.test_case "roundtrip families" `Quick test_aiger_roundtrip_families;
           Alcotest.test_case "format shape" `Quick test_aiger_format_shape;
           Alcotest.test_case "parse errors" `Quick test_aiger_errors;
+          Alcotest.test_case "parse error details" `Quick test_aiger_parse_error_details;
           Alcotest.test_case "two-field latches" `Quick test_aiger_two_field_latches;
           Alcotest.test_case "file io" `Quick test_aiger_file_io;
           Alcotest.test_case "binary roundtrip" `Quick test_aiger_binary_roundtrip;

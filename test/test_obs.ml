@@ -270,6 +270,40 @@ let test_bench_row_isolation () =
   | _ -> Alcotest.fail "reach.iterations missing from the report");
   check int "registry clean after the last reset" 0 (Obs.value_of "reach.iterations")
 
+(* the per-run watch-reset bugfix: back-to-back runs in one process must
+   not report elapsed time measured from the single [start] call. Frames
+   are written to a file channel (not a TTY), one line per frame, ending
+   in the elapsed "%.1fs" field. *)
+let test_progress_begin_run_resets_watch () =
+  let path = Filename.temp_file "cbq_progress" ".log" in
+  let ch = open_out path in
+  Obs.Progress.start ~channel:ch ();
+  Obs.Progress.frame ~index:0 ~nodes:1;
+  (* burn enough wall time for the %.1f field to move *)
+  let w = Util.Stopwatch.start () in
+  while Util.Stopwatch.elapsed w < 0.25 do () done;
+  Obs.Progress.frame ~index:1 ~nodes:1;
+  Obs.Progress.begin_run ();
+  (* a new run begins: its first frame must report ~0 elapsed *)
+  Obs.Progress.frame ~index:0 ~nodes:1;
+  Obs.Progress.finish ();
+  close_out ch;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  let ends_zero l = String.length l > 4 && String.sub l (String.length l - 4) 4 = "0.0s" in
+  match !lines with
+  | after_reset :: before_reset :: _ ->
+    check bool "stale watch visible before the reset" false (ends_zero before_reset);
+    check bool "fresh watch after begin_run" true (ends_zero after_reset)
+  | _ -> Alcotest.fail "expected at least two progress lines"
+
 let test_disabled_traversal_is_silent () =
   with_obs false @@ fun () ->
   let model = Circuits.Families.counter ~bits:3 in
@@ -319,5 +353,7 @@ let () =
           Alcotest.test_case "disabled run stays silent" `Quick
             test_disabled_traversal_is_silent;
           Alcotest.test_case "bench rows are isolated" `Quick test_bench_row_isolation;
+          Alcotest.test_case "begin_run resets the progress watch" `Quick
+            test_progress_begin_run_resets_watch;
         ] );
     ]
