@@ -10,6 +10,8 @@ all:
 	dune build @all
 
 verify:
+	@ls test/corpus/*.aag >/dev/null 2>&1 || \
+	  { echo "FAIL: test/corpus has no .aag entries (the fuzz repro corpus is mandatory; see docs/TESTING.md)"; exit 1; }
 	dune build @all
 	dune runtest
 	@if command -v odoc >/dev/null 2>&1; then \

@@ -8,77 +8,12 @@
    JSON run report per experiment row, paired by file name). The exit
    status is 0 when every deterministic metric stays within the
    relative threshold (default 0.1 = 10%, symmetric) and no experiment
-   disappeared from the old tree, 1 otherwise. Wall-clock span seconds
-   are reported but only gated when --time-threshold is given, so
-   comparing two runs of the same build is deterministic. *)
+   disappeared from the old tree, 1 otherwise; usage errors and
+   unreadable directories exit 2 with a diagnostic on stderr. Wall-clock
+   span seconds are reported but only gated when --time-threshold is
+   given, so comparing two runs of the same build is deterministic.
 
-let usage () =
-  prerr_endline
-    "usage: cbq-bench-regress OLD_DIR NEW_DIR [--threshold=REL] [--time-threshold=REL]";
-  exit 2
+   The whole CLI lives in Obs.Regress.main so the exit-code contract is
+   unit-tested (test/test_regress.ml). *)
 
-let () =
-  let dirs = ref [] in
-  let threshold = ref 0.1 in
-  let time_threshold = ref None in
-  let float_arg name s =
-    match float_of_string_opt s with
-    | Some f when f >= 0.0 -> f
-    | Some _ | None ->
-      Printf.eprintf "cbq-bench-regress: %s expects a non-negative number, got %S\n" name s;
-      exit 2
-  in
-  Array.iteri
-    (fun i arg ->
-      if i > 0 then
-        match String.index_opt arg '=' with
-        | Some eq when String.length arg > 2 && String.sub arg 0 2 = "--" ->
-          let key = String.sub arg 0 eq in
-          let value = String.sub arg (eq + 1) (String.length arg - eq - 1) in
-          (match key with
-          | "--threshold" -> threshold := float_arg key value
-          | "--time-threshold" -> time_threshold := Some (float_arg key value)
-          | _ -> usage ())
-        | _ -> (
-          match arg with
-          | "--help" | "-h" -> usage ()
-          | _ when String.length arg > 0 && arg.[0] = '-' -> usage ()
-          | _ -> dirs := arg :: !dirs))
-    Sys.argv;
-  let old_dir, new_dir =
-    match List.rev !dirs with [ o; n ] -> (o, n) | _ -> usage ()
-  in
-  List.iter
-    (fun dir ->
-      if not (Sys.file_exists dir && Sys.is_directory dir) then begin
-        Printf.eprintf "cbq-bench-regress: %s is not a directory\n" dir;
-        exit 2
-      end)
-    [ old_dir; new_dir ];
-  let outcome =
-    try Obs.Regress.diff_dirs ~old_dir ~new_dir
-    with Sys_error msg ->
-      Printf.eprintf "cbq-bench-regress: %s\n" msg;
-      exit 2
-  in
-  let threshold = !threshold and time_threshold = !time_threshold in
-  Format.printf "%a" (Obs.Regress.pp_outcome ~threshold ~time_threshold) outcome;
-  let gated = Obs.Regress.regressions ~threshold ~time_threshold outcome in
-  let compared = List.length outcome.Obs.Regress.pairs in
-  if Obs.Regress.passes ~threshold ~time_threshold outcome then begin
-    Format.printf "OK: %d report pair%s within %.0f%%%s@." compared
-      (if compared = 1 then "" else "s")
-      (threshold *. 100.0)
-      (match time_threshold with
-      | None -> " (timings not gated)"
-      | Some t -> Printf.sprintf " (timings within %.0f%%)" (t *. 100.0));
-    exit 0
-  end
-  else begin
-    Format.printf "REGRESSION: %d gated delta%s, %d report%s missing from the new tree@."
-      (List.length gated)
-      (if List.length gated = 1 then "" else "s")
-      (List.length outcome.Obs.Regress.only_old)
-      (if List.length outcome.Obs.Regress.only_old = 1 then "" else "s");
-    exit 1
-  end
+let () = exit (Obs.Regress.main Sys.argv)

@@ -5,7 +5,8 @@
      run               verify a registry circuit (or an .aag file) with a
                        chosen engine
      export            write a registry circuit as ASCII AIGER
-     quantify          quantification demo on a combinational cone *)
+     quantify          quantification demo on a combinational cone
+     fuzz              differential fuzzing with cross-engine oracles *)
 
 open Cmdliner
 
@@ -450,6 +451,137 @@ let cec_cmd =
   in
   Cmd.v (Cmd.info "cec" ~doc) Term.(const run $ size_arg $ bug_arg)
 
+(* ---------- fuzz ---------- *)
+
+let fuzz_cmd =
+  let doc = "differential fuzzing: random models, cross-engine + algebraic oracles" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Generates seeded random sequential models and checks each one against three oracle \
+         layers: AIGER round-trip identity, SAT-checked algebraic identities of the \
+         quantification pipeline, and verdict agreement across every verification engine \
+         (see docs/TESTING.md). Failures are minimized by a ddmin-style shrinker and, with \
+         $(b,--corpus), persisted as replayable AIGER repros.";
+      `P
+        "Resource limits (--timeout etc.) apply per engine run, so a tiny budget fuzzes the \
+         governor-degradation paths: an engine that runs out of budget reports UNDECIDED, \
+         which is compatible with any other verdict.";
+    ]
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"N" ~doc:"master seed of the campaign")
+  in
+  let count_arg =
+    Arg.(value & opt int 100 & info [ "n"; "count" ] ~docv:"K" ~doc:"number of models to generate")
+  in
+  let max_latches_arg =
+    Arg.(value & opt int Fuzz.Gen.default.Fuzz.Gen.max_latches
+         & info [ "max-latches" ] ~docv:"L" ~doc:"largest generated model, in latches")
+  in
+  let max_inputs_arg =
+    Arg.(value & opt int Fuzz.Gen.default.Fuzz.Gen.max_inputs
+         & info [ "max-inputs" ] ~docv:"I" ~doc:"largest generated model, in primary inputs")
+  in
+  let cone_depth_arg =
+    Arg.(value & opt int Fuzz.Gen.default.Fuzz.Gen.cone_depth
+         & info [ "cone-depth" ] ~docv:"D" ~doc:"maximum next-state cone depth")
+  in
+  let corpus_arg =
+    Arg.(value & opt (some string) None
+         & info [ "corpus" ] ~docv:"DIR" ~doc:"write shrunk failing models into $(docv)")
+  in
+  let no_shrink_arg =
+    Arg.(value & flag & info [ "no-shrink" ] ~doc:"report failures without minimizing them")
+  in
+  let inject_fault_arg =
+    Arg.(value & flag
+         & info [ "inject-sweep-fault" ]
+             ~doc:
+               "self-test: make the sweeper merge SAT-refuted pairs (a deliberate soundness \
+                bug) and confirm the oracles catch it")
+  in
+  let run seed count max_latches max_inputs cone_depth corpus no_shrink inject_fault stats
+      stats_json progress timeout max_conflicts max_aig_nodes max_bdd_nodes =
+    if stats || stats_json <> None || progress then begin
+      Obs.reset ();
+      Obs.set_enabled true
+    end;
+    let knobs =
+      {
+        Fuzz.Gen.default with
+        Fuzz.Gen.max_latches;
+        max_inputs;
+        cone_depth;
+        min_latches = min Fuzz.Gen.default.Fuzz.Gen.min_latches max_latches;
+        min_inputs = min Fuzz.Gen.default.Fuzz.Gen.min_inputs max_inputs;
+      }
+    in
+    (match Fuzz.Gen.validate_knobs knobs with
+    | Ok () -> ()
+    | Error msg ->
+      Format.eprintf "fuzz: invalid knobs: %s@." msg;
+      exit 2);
+    let config =
+      {
+        Fuzz.Oracle.default_config with
+        Fuzz.Oracle.budget =
+          { Fuzz.Oracle.timeout; max_conflicts; max_aig_nodes; max_bdd_nodes };
+      }
+    in
+    let watch = Util.Stopwatch.start () in
+    let on_model i model_seed =
+      if progress && i mod 10 = 0 then
+        Format.eprintf "fuzz: model %d/%d (seed %d)\r%!" i count model_seed
+    in
+    let campaign () =
+      Fuzz.Runner.run ~knobs ~config ?corpus_dir:corpus ~shrink:(not no_shrink) ~on_model
+        ~seed ~count ()
+    in
+    let result =
+      if inject_fault then Sweep.Fault.with_injection campaign else campaign ()
+    in
+    if progress then Format.eprintf "@.";
+    List.iter
+      (fun f ->
+        Format.printf "FAIL seed %d: %a@." f.Fuzz.Runner.seed Fuzz.Oracle.pp_failure
+          f.Fuzz.Runner.failure;
+        (match f.Fuzz.Runner.shrunk with
+        | Some s ->
+          Format.printf "  shrunk to %a after %d candidates (%d accepted, %d rounds)@."
+            Netlist.Model.pp_stats
+            (Netlist.Model.stats s.Fuzz.Shrink.model)
+            s.Fuzz.Shrink.candidates s.Fuzz.Shrink.accepted s.Fuzz.Shrink.rounds
+        | None -> ());
+        match f.Fuzz.Runner.entry with
+        | Some e -> Format.printf "  repro: %s@." e.Fuzz.Corpus.path
+        | None -> ())
+      result.Fuzz.Runner.failures;
+    let n_failures = List.length result.Fuzz.Runner.failures in
+    Format.printf "fuzz: %d models, %d failures (%.2fs)@." result.Fuzz.Runner.count n_failures
+      (Util.Stopwatch.elapsed watch);
+    if stats then Format.printf "%a" Obs.pp_summary ();
+    (match stats_json with
+    | Some path ->
+      Obs.meta "tool" "cbq-mc-fuzz";
+      Obs.meta "seed" (string_of_int seed);
+      Obs.meta "failures" (string_of_int n_failures);
+      Obs.write_report path;
+      Format.printf "stats: wrote %s@." path
+    | None -> ());
+    (* the self-test inverts the exit contract: finding the injected bug
+       is the passing outcome *)
+    if inject_fault then exit (if n_failures > 0 then 0 else 1)
+    else exit (if n_failures > 0 then 1 else 0)
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc ~man)
+    Term.(
+      const run $ seed_arg $ count_arg $ max_latches_arg $ max_inputs_arg $ cone_depth_arg
+      $ corpus_arg $ no_shrink_arg $ inject_fault_arg $ stats_arg $ stats_json_arg
+      $ progress_arg $ timeout_arg $ max_conflicts_arg $ max_aig_nodes_arg $ max_bdd_nodes_arg)
+
 (* ---------- sat ---------- *)
 
 let sat_cmd =
@@ -488,4 +620,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default:run_term info
-          [ list_cmd; run_cmd; export_cmd; reduce_cmd; quantify_cmd; cec_cmd; sat_cmd ]))
+          [ list_cmd; run_cmd; export_cmd; reduce_cmd; quantify_cmd; cec_cmd; fuzz_cmd; sat_cmd ]))

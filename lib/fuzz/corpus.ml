@@ -1,0 +1,102 @@
+type entry = {
+  path : string;
+  slug : string;
+  model_name : string;
+  seed : int option;
+  label : string;
+  detail : string;
+}
+
+let json_path slug dir = Filename.concat dir (slug ^ ".json")
+let aag_path slug dir = Filename.concat dir (slug ^ ".aag")
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let fresh_slug ~dir base =
+  let rec go i =
+    let slug = if i = 0 then base else Printf.sprintf "%s-%d" base i in
+    if Sys.file_exists (aag_path slug dir) || Sys.file_exists (json_path slug dir) then go (i + 1)
+    else slug
+  in
+  go 0
+
+let save ~dir ?seed model failure ~verdicts =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let label = Oracle.failure_label failure in
+  let base =
+    match seed with
+    | Some s -> Printf.sprintf "%s-seed%d" label s
+    | None -> Printf.sprintf "%s-%s" label (Netlist.Model.name model)
+  in
+  let slug = fresh_slug ~dir base in
+  let detail = Format.asprintf "%a" Oracle.pp_failure failure in
+  let stats = Netlist.Model.stats model in
+  let meta =
+    Obs.Json.Obj
+      [
+        ("slug", Obs.Json.String slug);
+        ("model", Obs.Json.String (Netlist.Model.name model));
+        ("seed", match seed with Some s -> Obs.Json.Int s | None -> Obs.Json.Null);
+        ("failure", Obs.Json.String label);
+        ("detail", Obs.Json.String detail);
+        ( "verdicts",
+          Obs.Json.Obj
+            (List.map
+               (fun (name, v) ->
+                 (name, Obs.Json.String (Format.asprintf "%a" Baselines.Verdict.pp v)))
+               verdicts) );
+        ( "stats",
+          Obs.Json.Obj
+            [
+              ("inputs", Obs.Json.Int stats.Netlist.Model.inputs);
+              ("latches", Obs.Json.Int stats.Netlist.Model.latches);
+            ] );
+      ]
+  in
+  write_file (aag_path slug dir) (Netlist.Aiger.write model);
+  write_file (json_path slug dir) (Obs.Json.to_string meta ^ "\n");
+  { path = aag_path slug dir; slug; model_name = Netlist.Model.name model; seed; label; detail }
+
+let string_member key json =
+  match Obs.Json.member key json with Some (Obs.Json.String s) -> Some s | _ -> None
+
+let int_member key json =
+  match Obs.Json.member key json with Some (Obs.Json.Int i) -> Some i | _ -> None
+
+let list ~dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map (fun f ->
+           if Filename.check_suffix f ".json" then (
+             let slug = Filename.chop_suffix f ".json" in
+             let aag = aag_path slug dir in
+             if not (Sys.file_exists aag) then None
+             else
+               match Obs.Json.of_file (json_path slug dir) with
+               | Error _ -> None
+               | Ok meta ->
+                 Some
+                   {
+                     path = aag;
+                     slug;
+                     model_name = Option.value ~default:slug (string_member "model" meta);
+                     seed = int_member "seed" meta;
+                     label = Option.value ~default:"unknown" (string_member "failure" meta);
+                     detail = Option.value ~default:"" (string_member "detail" meta);
+                   })
+           else None)
+    |> List.sort (fun a b -> compare a.slug b.slug)
+
+let load e = Netlist.Aiger.read ~name:e.model_name (read_file e.path)
+
+let replay ?(config = Oracle.default_config) ~dir () =
+  List.map (fun e -> (e, Oracle.check ~config (load e))) (list ~dir)

@@ -1,0 +1,44 @@
+(** The shrinking repro corpus.
+
+    Every oracle failure the fuzzer finds is persisted as a pair of files
+    in a corpus directory: a canonical ascii AIGER document
+    ([<slug>.aag]) holding the (shrunk) model, and a [<slug>.json]
+    metadata record naming the generator seed, the failure class and the
+    per-engine verdicts observed at capture time.
+
+    The {b replay contract}: checked-in entries are {e once}-failing
+    repros of bugs that have since been fixed; {!replay} re-runs the full
+    oracle stack over each entry and reports any that fail {e today}.
+    The test suite asserts the result is all-clean, which turns every
+    captured fuzz failure into a permanent regression test. *)
+
+type entry = {
+  path : string;  (** the [.aag] file *)
+  slug : string;
+  model_name : string;  (** as recorded in the metadata at capture time *)
+  seed : int option;  (** generator seed, when the model came from {!Gen} *)
+  label : string;  (** {!Oracle.failure_label} at capture time *)
+  detail : string;  (** rendered {!Oracle.pp_failure} at capture time *)
+}
+
+(** [save ~dir ?seed model failure ~verdicts] writes a new entry (the
+    directory is created if missing; slugs never overwrite an existing
+    entry) and returns it. *)
+val save :
+  dir:string ->
+  ?seed:int ->
+  Netlist.Model.t ->
+  Oracle.failure ->
+  verdicts:(string * Baselines.Verdict.t) list ->
+  entry
+
+(** All entries of a directory, sorted by slug; missing directory = []. *)
+val list : dir:string -> entry list
+
+(** Parse an entry's model. Raises {!Netlist.Aiger.Parse_error} on a
+    corrupt corpus file. *)
+val load : entry -> Netlist.Model.t
+
+(** [replay ?config ~dir] runs {!Oracle.check} over every entry. A [Some]
+    failure means the bug (or a new one) is live again. *)
+val replay : ?config:Oracle.config -> dir:string -> unit -> (entry * Oracle.failure option) list

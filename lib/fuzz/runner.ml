@@ -1,0 +1,62 @@
+let c_models = Obs.counter "fuzz.models"
+let c_failures = Obs.counter "fuzz.failures"
+let c_shrink_candidates = Obs.counter "fuzz.shrink.candidates"
+let c_shrink_accepted = Obs.counter "fuzz.shrink.accepted"
+let c_corpus_saved = Obs.counter "fuzz.corpus.saved"
+
+type failure_report = {
+  seed : int;
+  original_failure : Oracle.failure;
+  failure : Oracle.failure;
+  model : Netlist.Model.t;
+  shrunk : Shrink.result option;
+  entry : Corpus.entry option;
+}
+
+type result = { count : int; failures : failure_report list }
+
+let run ?(knobs = Gen.default) ?(config = Oracle.default_config) ?corpus_dir ?(shrink = true)
+    ?(max_shrink_candidates = 400) ?on_model ~seed ~count () =
+  let failures = ref [] in
+  for i = 0 to count - 1 do
+    let model_seed = Gen.derive_seed ~master:seed i in
+    (match on_model with Some f -> f i model_seed | None -> ());
+    let m = Gen.model ~knobs ~seed:model_seed () in
+    Obs.incr c_models;
+    match Oracle.check ~config m with
+    | None -> ()
+    | Some original_failure ->
+      Obs.incr c_failures;
+      Obs.incr (Obs.counter ("fuzz.fail." ^ Oracle.failure_label original_failure));
+      let shrunk =
+        if shrink then begin
+          let r = Shrink.shrink ~config ~max_candidates:max_shrink_candidates m original_failure in
+          Obs.add c_shrink_candidates r.Shrink.candidates;
+          Obs.add c_shrink_accepted r.Shrink.accepted;
+          Some r
+        end
+        else None
+      in
+      let final_model, failure =
+        match shrunk with
+        | Some r -> (r.Shrink.model, r.Shrink.failure)
+        | None -> (m, original_failure)
+      in
+      let entry =
+        match corpus_dir with
+        | None -> None
+        | Some dir ->
+          let verdicts =
+            match failure with
+            | Oracle.Disagreement { verdicts } -> verdicts
+            | _ -> Oracle.run_engines ~config final_model
+          in
+          let e = Corpus.save ~dir ~seed:model_seed final_model failure ~verdicts in
+          Obs.incr c_corpus_saved;
+          Some e
+      in
+      failures :=
+        { seed = model_seed; original_failure; failure; model = final_model; shrunk; entry }
+        :: !failures
+  done;
+  { count; failures = List.rev !failures }

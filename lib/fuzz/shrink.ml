@@ -1,0 +1,178 @@
+type result = {
+  model : Netlist.Model.t;
+  failure : Oracle.failure;
+  rounds : int;
+  candidates : int;
+  accepted : int;
+}
+
+type next_override = Keep | Reset_const | Self
+type input_override = In_keep | In_const of bool | In_merge of int
+
+(* a candidate is a reduction plan over the original model, not a model:
+   building is deferred so rejected plans cost nothing but an import *)
+type spec = {
+  keep_latch : bool array;
+  next_ov : next_override array;
+  input_ov : input_override array;
+}
+
+let initial m =
+  {
+    keep_latch = Array.make (Netlist.Model.num_latches m) true;
+    next_ov = Array.make (Netlist.Model.num_latches m) Keep;
+    input_ov = Array.make (Netlist.Model.num_inputs m) In_keep;
+  }
+
+let copy s =
+  {
+    keep_latch = Array.copy s.keep_latch;
+    next_ov = Array.copy s.next_ov;
+    input_ov = Array.copy s.input_ov;
+  }
+
+let build m spec =
+  let b = Netlist.Builder.create (Netlist.Model.name m) in
+  let aig = Netlist.Builder.aig b in
+  let src = Netlist.Model.aig m in
+  let src_inputs = Array.of_list m.Netlist.Model.inputs in
+  let src_latches = Array.of_list m.Netlist.Model.latches in
+  (* destination leaves, chasing one level of input aliasing (merge
+     targets are always [In_keep], so chains cannot form) *)
+  let dest_input = Array.make (Array.length src_inputs) Aig.false_ in
+  Array.iteri
+    (fun i ov -> match ov with In_keep -> dest_input.(i) <- Netlist.Builder.input b | _ -> ())
+    spec.input_ov;
+  Array.iteri
+    (fun i ov ->
+      match ov with
+      | In_keep -> ()
+      | In_const c -> dest_input.(i) <- (if c then Aig.true_ else Aig.false_)
+      | In_merge j -> dest_input.(i) <- dest_input.(j))
+    spec.input_ov;
+  let dest_latch = Array.make (Array.length src_latches) Aig.false_ in
+  Array.iteri
+    (fun i l ->
+      if spec.keep_latch.(i) then dest_latch.(i) <- Netlist.Builder.latch b ~init:l.Netlist.Model.init
+      else dest_latch.(i) <- (if l.Netlist.Model.init then Aig.true_ else Aig.false_))
+    src_latches;
+  let leaf = Hashtbl.create 16 in
+  Array.iteri (fun i v -> Hashtbl.replace leaf v dest_input.(i)) src_inputs;
+  Array.iteri
+    (fun i l -> Hashtbl.replace leaf l.Netlist.Model.state_var dest_latch.(i))
+    src_latches;
+  let subst var =
+    match Hashtbl.find_opt leaf var with
+    | Some l -> l
+    | None -> invalid_arg "Fuzz.Shrink: cone leaf outside the model interface"
+  in
+  let import l = Aig.import aig ~source:src ~subst l in
+  Array.iteri
+    (fun i l ->
+      if spec.keep_latch.(i) then
+        let next =
+          match spec.next_ov.(i) with
+          | Keep -> import l.Netlist.Model.next
+          | Reset_const -> if l.Netlist.Model.init then Aig.true_ else Aig.false_
+          | Self -> dest_latch.(i)
+        in
+        Netlist.Builder.connect b dest_latch.(i) next)
+    src_latches;
+  Netlist.Builder.set_property b (import m.Netlist.Model.property);
+  Netlist.Builder.finish b
+
+let kept_count spec = Array.fold_left (fun n k -> if k then n + 1 else n) 0 spec.keep_latch
+
+let shrink ?(config = Oracle.default_config) ?(max_candidates = 400) m failure0 =
+  let best_spec = ref (initial m) in
+  let best_model = ref m in
+  let best_failure = ref failure0 in
+  let candidates = ref 0 in
+  let accepted = ref 0 in
+  let rounds = ref 0 in
+  let budget_left () = !candidates < max_candidates in
+  let try_spec spec =
+    if not (budget_left ()) then false
+    else begin
+      incr candidates;
+      match build m spec with
+      | exception _ -> false
+      | cand -> (
+        match Oracle.check ~config cand with
+        | Some f ->
+          best_spec := spec;
+          best_model := cand;
+          best_failure := f;
+          incr accepted;
+          true
+        | None -> false)
+    end
+  in
+  let n_latches = Netlist.Model.num_latches m in
+  let n_inputs = Netlist.Model.num_inputs m in
+  let progress = ref true in
+  while !progress && budget_left () do
+    incr rounds;
+    progress := false;
+    (* 1. drop latches: halving chunks of the kept set, then singles *)
+    let chunk = ref (max 1 ((kept_count !best_spec + 1) / 2)) in
+    while !chunk >= 1 do
+      let i = ref 0 in
+      while !i < n_latches do
+        let s = copy !best_spec in
+        let dropped = ref 0 in
+        let j = ref !i in
+        while !dropped < !chunk && !j < n_latches do
+          if s.keep_latch.(!j) then begin
+            s.keep_latch.(!j) <- false;
+            incr dropped
+          end;
+          incr j
+        done;
+        if !dropped > 0 && kept_count s >= 1 && try_spec s then progress := true;
+        i := !j
+      done;
+      chunk := if !chunk = 1 then 0 else !chunk / 2
+    done;
+    (* 2. truncate cones of the surviving latches *)
+    for i = 0 to n_latches - 1 do
+      if !best_spec.keep_latch.(i) && !best_spec.next_ov.(i) = Keep then begin
+        let s = copy !best_spec in
+        s.next_ov.(i) <- Reset_const;
+        if try_spec s then progress := true
+        else begin
+          let s = copy !best_spec in
+          s.next_ov.(i) <- Self;
+          if try_spec s then progress := true
+        end
+      end
+    done;
+    (* 3. merge inputs: constants first, then alias an earlier kept input *)
+    for i = 0 to n_inputs - 1 do
+      if !best_spec.input_ov.(i) = In_keep then begin
+        let try_ov ov =
+          let s = copy !best_spec in
+          s.input_ov.(i) <- ov;
+          try_spec s
+        in
+        let merged =
+          try_ov (In_const false) || try_ov (In_const true)
+          ||
+          match
+            List.find_opt (fun j -> !best_spec.input_ov.(j) = In_keep)
+              (List.init i (fun j -> j))
+          with
+          | Some j -> try_ov (In_merge j)
+          | None -> false
+        in
+        if merged then progress := true
+      end
+    done
+  done;
+  {
+    model = !best_model;
+    failure = !best_failure;
+    rounds = !rounds;
+    candidates = !candidates;
+    accepted = !accepted;
+  }

@@ -1,0 +1,31 @@
+(** ddmin-style minimization of oracle-failing models.
+
+    The shrinker never mutates the original: each candidate is rebuilt
+    into a fresh manager with {!Aig.import} under a substitution derived
+    from three reduction families —
+
+    - {b drop latches} (chunks first, then singles; the dropped latch's
+      state variable becomes its reset constant),
+    - {b truncate cones} (replace a next-state function by the reset
+      constant or by the latch itself),
+    - {b merge inputs} (an input becomes a constant or an alias of an
+      earlier input).
+
+    A candidate is accepted when {!Oracle.check} still fails — on {e any}
+    failure, not necessarily the original one: a smaller model exposing a
+    different bug is still a better repro. Greedy rounds repeat until a
+    fixpoint or the candidate budget is exhausted. At least one latch is
+    always kept. *)
+
+type result = {
+  model : Netlist.Model.t;  (** minimized model, still failing *)
+  failure : Oracle.failure;  (** the failure the minimized model exhibits *)
+  rounds : int;
+  candidates : int;  (** candidates built and checked *)
+  accepted : int;  (** candidates that kept failing *)
+}
+
+(** [shrink ?config ?max_candidates m failure] — [m] must currently fail
+    {!Oracle.check} with [failure]. Deterministic. *)
+val shrink :
+  ?config:Oracle.config -> ?max_candidates:int -> Netlist.Model.t -> Oracle.failure -> result

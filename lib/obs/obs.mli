@@ -317,4 +317,11 @@ module Regress : sig
       with [!]. *)
   val pp_outcome :
     threshold:float -> time_threshold:float option -> Format.formatter -> outcome -> unit
+
+  (** The [cbq-bench-regress] command line, in-process: diff the two
+      trees named by [argv] and return the exit status — 0 within
+      thresholds, 1 on a regression, 2 on a usage error or unreadable
+      directory. The delta listing and verdict go to [out] (default
+      stdout); usage and diagnostics go to [err] (default stderr). *)
+  val main : ?out:Format.formatter -> ?err:Format.formatter -> string array -> int
 end

@@ -166,3 +166,82 @@ let pp_outcome ~threshold ~time_threshold ppf outcome =
     outcome.pairs;
   List.iter (Format.fprintf ppf "missing from new tree: %s@.") outcome.only_old;
   List.iter (Format.fprintf ppf "only in new tree: %s@.") outcome.only_new
+
+(* ---------- the cbq-bench-regress entry point ----------
+
+   In-process and formatter-parametric so the exit-code contract (0
+   within thresholds / 1 regression / 2 usage error or unreadable
+   directory) and the stdout/stderr split are unit-testable; the
+   bench/regress.ml executable is one line on top of this. *)
+
+let main ?(out = Format.std_formatter) ?(err = Format.err_formatter) argv =
+  let exception Quit of int in
+  let usage () =
+    Format.fprintf err
+      "usage: cbq-bench-regress OLD_DIR NEW_DIR [--threshold=REL] [--time-threshold=REL]@.";
+    raise (Quit 2)
+  in
+  try
+    let dirs = ref [] in
+    let threshold = ref 0.1 in
+    let time_threshold = ref None in
+    let float_arg name s =
+      match float_of_string_opt s with
+      | Some f when f >= 0.0 -> f
+      | Some _ | None ->
+        Format.fprintf err "cbq-bench-regress: %s expects a non-negative number, got %S@." name s;
+        raise (Quit 2)
+    in
+    Array.iteri
+      (fun i arg ->
+        if i > 0 then
+          match String.index_opt arg '=' with
+          | Some eq when String.length arg > 2 && String.sub arg 0 2 = "--" ->
+            let key = String.sub arg 0 eq in
+            let value = String.sub arg (eq + 1) (String.length arg - eq - 1) in
+            (match key with
+            | "--threshold" -> threshold := float_arg key value
+            | "--time-threshold" -> time_threshold := Some (float_arg key value)
+            | _ -> usage ())
+          | _ -> (
+            match arg with
+            | "--help" | "-h" -> usage ()
+            | _ when String.length arg > 0 && arg.[0] = '-' -> usage ()
+            | _ -> dirs := arg :: !dirs))
+      argv;
+    let old_dir, new_dir = match List.rev !dirs with [ o; n ] -> (o, n) | _ -> usage () in
+    List.iter
+      (fun dir ->
+        if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+          Format.fprintf err "cbq-bench-regress: %s is not a directory@." dir;
+          raise (Quit 2)
+        end)
+      [ old_dir; new_dir ];
+    let outcome =
+      try diff_dirs ~old_dir ~new_dir
+      with Sys_error msg ->
+        Format.fprintf err "cbq-bench-regress: %s@." msg;
+        raise (Quit 2)
+    in
+    let threshold = !threshold and time_threshold = !time_threshold in
+    Format.fprintf out "%a" (pp_outcome ~threshold ~time_threshold) outcome;
+    let gated = regressions ~threshold ~time_threshold outcome in
+    let compared = List.length outcome.pairs in
+    if passes ~threshold ~time_threshold outcome then begin
+      Format.fprintf out "OK: %d report pair%s within %.0f%%%s@." compared
+        (if compared = 1 then "" else "s")
+        (threshold *. 100.0)
+        (match time_threshold with
+        | None -> " (timings not gated)"
+        | Some t -> Printf.sprintf " (timings within %.0f%%)" (t *. 100.0));
+      0
+    end
+    else begin
+      Format.fprintf out "REGRESSION: %d gated delta%s, %d report%s missing from the new tree@."
+        (List.length gated)
+        (if List.length gated = 1 then "" else "s")
+        (List.length outcome.only_old)
+        (if List.length outcome.only_old = 1 then "" else "s");
+      1
+    end
+  with Quit n -> n

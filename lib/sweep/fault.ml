@@ -1,0 +1,6 @@
+let injected = ref false
+
+let with_injection f =
+  let saved = !injected in
+  injected := true;
+  Fun.protect ~finally:(fun () -> injected := saved) f

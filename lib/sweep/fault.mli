@@ -1,0 +1,13 @@
+(** Test-only unsoundness injection.
+
+    When {!injected} is set, {!Sweeper} treats a SAT-{e refuted} compare
+    point as proven equivalent and merges it — the classic sweeping bug.
+    The differential fuzzer's self-test flips this to demonstrate that
+    its oracles catch (and its shrinker minimizes) a real soundness hole;
+    nothing in the production pipeline ever sets it. *)
+
+val injected : bool ref
+
+(** [with_injection f] runs [f] with injection enabled, restoring the
+    previous state afterwards (exception-safe). *)
+val with_injection : (unit -> 'a) -> 'a

@@ -203,6 +203,12 @@ let run ?(config = default) ?bank aig checker ~prng ~roots =
                 cover rb
               end;
               process rest
+            | Cnf.Checker.No when !Fault.injected ->
+              (* deliberately unsound merge of a SAT-refuted pair; only
+                 reachable when the fuzzer's self-test flips {!Fault} *)
+              Merge_map.union mm ra rb;
+              incr sat_merges;
+              process rest
             | Cnf.Checker.No ->
               incr sat_refuted;
               (* distill the distinguishing model into the persistent bank

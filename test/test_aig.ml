@@ -236,39 +236,10 @@ let test_simulate_cone_leaves () =
 
 (* random expression tree over n variables, evaluated both as an AIG and
    directly *)
-type expr = V of int | Not of expr | And of expr * expr | Or of expr * expr | Xor of expr * expr
-
-let expr_gen n =
-  QCheck.Gen.(
-    sized_size (int_bound 20) (fix (fun self s ->
-        if s <= 1 then map (fun v -> V v) (int_bound (n - 1))
-        else
-          frequency
-            [
-              (1, map (fun v -> V v) (int_bound (n - 1)));
-              (2, map (fun e -> Not e) (self (s - 1)));
-              (2, map2 (fun a b -> And (a, b)) (self (s / 2)) (self (s / 2)));
-              (2, map2 (fun a b -> Or (a, b)) (self (s / 2)) (self (s / 2)));
-              (1, map2 (fun a b -> Xor (a, b)) (self (s / 2)) (self (s / 2)));
-            ])))
-
-let rec build_aig aig = function
-  | V v -> Aig.var aig v
-  | Not e -> Aig.not_ (build_aig aig e)
-  | And (a, b) -> Aig.and_ aig (build_aig aig a) (build_aig aig b)
-  | Or (a, b) -> Aig.or_ aig (build_aig aig a) (build_aig aig b)
-  | Xor (a, b) -> Aig.xor_ aig (build_aig aig a) (build_aig aig b)
-
-let rec eval_expr env = function
-  | V v -> env v
-  | Not e -> not (eval_expr env e)
-  | And (a, b) -> eval_expr env a && eval_expr env b
-  | Or (a, b) -> eval_expr env a || eval_expr env b
-  | Xor (a, b) -> eval_expr env a <> eval_expr env b
-
 let nvars = 4
-
-let qc_expr = QCheck.make ~print:(fun _ -> "<expr>") (expr_gen nvars)
+let build_aig = Gen_util.build_aig
+let eval_expr = Gen_util.eval_expr
+let qc_expr = Gen_util.qc_expr nvars
 
 let aig_matches_expr =
   QCheck.Test.make ~name:"AIG agrees with direct evaluation" ~count:300 qc_expr (fun e ->

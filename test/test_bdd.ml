@@ -158,38 +158,10 @@ let test_parity_linear () =
   check bool "parity BDD is linear" true (Bdd.size man !f <= 2 * n)
 
 (* qcheck: random expressions vs direct evaluation *)
-type expr = V of int | Not of expr | And of expr * expr | Or of expr * expr | Xor of expr * expr
-
-let expr_gen n =
-  QCheck.Gen.(
-    sized_size (int_bound 16) (fix (fun self s ->
-        if s <= 1 then map (fun v -> V v) (int_bound (n - 1))
-        else
-          frequency
-            [
-              (1, map (fun v -> V v) (int_bound (n - 1)));
-              (2, map (fun e -> Not e) (self (s - 1)));
-              (2, map2 (fun a b -> And (a, b)) (self (s / 2)) (self (s / 2)));
-              (2, map2 (fun a b -> Or (a, b)) (self (s / 2)) (self (s / 2)));
-              (1, map2 (fun a b -> Xor (a, b)) (self (s / 2)) (self (s / 2)));
-            ])))
-
-let rec build man = function
-  | V v -> Bdd.var_node man v
-  | Not e -> Bdd.not_ man (build man e)
-  | And (a, b) -> Bdd.and_ man (build man a) (build man b)
-  | Or (a, b) -> Bdd.or_ man (build man a) (build man b)
-  | Xor (a, b) -> Bdd.xor_ man (build man a) (build man b)
-
-let rec eval_expr env = function
-  | V v -> env v
-  | Not e -> not (eval_expr env e)
-  | And (a, b) -> eval_expr env a && eval_expr env b
-  | Or (a, b) -> eval_expr env a || eval_expr env b
-  | Xor (a, b) -> eval_expr env a <> eval_expr env b
-
 let nvars = 4
-let qc_expr = QCheck.make ~print:(fun _ -> "<expr>") (expr_gen nvars)
+let build = Gen_util.build_bdd
+let eval_expr = Gen_util.eval_expr
+let qc_expr = Gen_util.qc_expr ~size:16 nvars
 
 let bdd_matches_expr =
   QCheck.Test.make ~name:"BDD agrees with direct evaluation" ~count:300 qc_expr (fun e ->

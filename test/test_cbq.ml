@@ -138,38 +138,10 @@ let test_naive_config_never_aborts () =
   check int "full pipeline collapses parity to true" Aig.true_ full.Cbq.Quantify.lit
 
 (* quantification against the BDD oracle on random expressions *)
-type expr = V of int | Not of expr | And of expr * expr | Or of expr * expr | Xor of expr * expr
-
-let expr_gen n =
-  QCheck.Gen.(
-    sized_size (int_bound 20) (fix (fun self s ->
-        if s <= 1 then map (fun v -> V v) (int_bound (n - 1))
-        else
-          frequency
-            [
-              (1, map (fun v -> V v) (int_bound (n - 1)));
-              (2, map (fun e -> Not e) (self (s - 1)));
-              (2, map2 (fun a b -> And (a, b)) (self (s / 2)) (self (s / 2)));
-              (2, map2 (fun a b -> Or (a, b)) (self (s / 2)) (self (s / 2)));
-              (1, map2 (fun a b -> Xor (a, b)) (self (s / 2)) (self (s / 2)));
-            ])))
-
-let rec build_aig aig = function
-  | V v -> Aig.var aig v
-  | Not e -> Aig.not_ (build_aig aig e)
-  | And (a, b) -> Aig.and_ aig (build_aig aig a) (build_aig aig b)
-  | Or (a, b) -> Aig.or_ aig (build_aig aig a) (build_aig aig b)
-  | Xor (a, b) -> Aig.xor_ aig (build_aig aig a) (build_aig aig b)
-
-let rec build_bdd man = function
-  | V v -> Bdd.var_node man v
-  | Not e -> Bdd.not_ man (build_bdd man e)
-  | And (a, b) -> Bdd.and_ man (build_bdd man a) (build_bdd man b)
-  | Or (a, b) -> Bdd.or_ man (build_bdd man a) (build_bdd man b)
-  | Xor (a, b) -> Bdd.xor_ man (build_bdd man a) (build_bdd man b)
-
 let nvars = 4
-let qc_expr = QCheck.make ~print:(fun _ -> "<expr>") (expr_gen nvars)
+let build_aig = Gen_util.build_aig
+let build_bdd = Gen_util.build_bdd
+let qc_expr = Gen_util.qc_expr nvars
 
 let quantify_matches_bdd_oracle =
   QCheck.Test.make ~name:"CBQ quantification = BDD exists" ~count:80 qc_expr (fun e ->

@@ -170,31 +170,9 @@ let test_query_counter () =
 
 (* ---------- properties: random cones vs brute force ---------- *)
 
-type expr = V of int | Not of expr | And of expr * expr | Or of expr * expr | Xor of expr * expr
-
-let expr_gen n =
-  QCheck.Gen.(
-    sized_size (int_bound 16) (fix (fun self s ->
-        if s <= 1 then map (fun v -> V v) (int_bound (n - 1))
-        else
-          frequency
-            [
-              (1, map (fun v -> V v) (int_bound (n - 1)));
-              (2, map (fun e -> Not e) (self (s - 1)));
-              (2, map2 (fun a b -> And (a, b)) (self (s / 2)) (self (s / 2)));
-              (2, map2 (fun a b -> Or (a, b)) (self (s / 2)) (self (s / 2)));
-              (1, map2 (fun a b -> Xor (a, b)) (self (s / 2)) (self (s / 2)));
-            ])))
-
-let rec build aig = function
-  | V v -> Aig.var aig v
-  | Not e -> Aig.not_ (build aig e)
-  | And (a, b) -> Aig.and_ aig (build aig a) (build aig b)
-  | Or (a, b) -> Aig.or_ aig (build aig a) (build aig b)
-  | Xor (a, b) -> Aig.xor_ aig (build aig a) (build aig b)
-
 let nvars = 4
-let qc_expr = QCheck.make ~print:(fun _ -> "<expr>") (expr_gen nvars)
+let build = Gen_util.build_aig
+let qc_expr = Gen_util.qc_expr ~size:16 nvars
 
 let sat_matches_brute_force =
   QCheck.Test.make ~name:"checker satisfiable = enumeration" ~count:200 qc_expr (fun e ->

@@ -83,32 +83,7 @@ let test_counter_avoiding_sweep () =
 
 (* small random sequential machines: random next-state cones and a random
    property over latches; engines must agree pairwise *)
-let random_machine seed () =
-  let prng = Util.Prng.create seed in
-  let n_latches = 3 + Util.Prng.int prng 2 in
-  let n_inputs = 1 + Util.Prng.int prng 2 in
-  let b = Netlist.Builder.create (Printf.sprintf "random-%d" seed) in
-  let aig = Netlist.Builder.aig b in
-  let inputs = Netlist.Builder.inputs b n_inputs in
-  let latches = List.init n_latches (fun _ -> Netlist.Builder.latch b ~init:(Util.Prng.bool prng)) in
-  let pool = Array.of_list (inputs @ latches) in
-  let rand_lit () =
-    let l = pool.(Util.Prng.int prng (Array.length pool)) in
-    if Util.Prng.bool prng then Aig.not_ l else l
-  in
-  let rand_cone depth =
-    let rec go d = if d = 0 then rand_lit () else Aig.and_ aig (go (d - 1)) (rand_lit ()) in
-    let base = go depth in
-    if Util.Prng.bool prng then Aig.xor_ aig base (rand_lit ()) else base
-  in
-  List.iter (fun q -> Netlist.Builder.connect b q (rand_cone (1 + Util.Prng.int prng 3))) latches;
-  (* property over latches only *)
-  let latch_lit () =
-    let l = List.nth latches (Util.Prng.int prng n_latches) in
-    if Util.Prng.bool prng then Aig.not_ l else l
-  in
-  Netlist.Builder.set_property b (Aig.or_ aig (latch_lit ()) (latch_lit ()));
-  Netlist.Builder.finish b
+let random_machine seed () = Gen_util.random_machine seed ()
 
 let test_random_machines_agree () =
   for seed = 1 to 25 do

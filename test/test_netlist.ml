@@ -222,6 +222,84 @@ let test_aiger_two_field_latches () =
   let q = List.hd (Netlist.Model.state_vars m) in
   check bool "reset to zero" false (Netlist.Model.init_state m q)
 
+(* the writer is canonical: one read normalizes any model, after which
+   write∘read is the identity on documents — so textual equality is
+   structural equality, the property the fuzzer's round-trip oracle
+   relies on (Fuzz.Oracle.check_roundtrip) *)
+let test_aiger_ascii_write_read_fixpoint () =
+  for seed = 0 to 49 do
+    let m = Fuzz.Gen.model ~seed () in
+    let t1 = Netlist.Aiger.write m in
+    let m1 = Netlist.Aiger.read ~name:(Netlist.Model.name m) t1 in
+    check bool
+      (Printf.sprintf "seed %d ascii fixpoint" seed)
+      true
+      (Netlist.Aiger.write m1 = t1)
+  done
+
+let test_aiger_binary_write_read_fixpoint () =
+  for seed = 0 to 49 do
+    let m = Fuzz.Gen.model ~seed () in
+    let t1 = Netlist.Aiger.write_binary m in
+    let m1 = Netlist.Aiger.read_binary ~name:(Netlist.Model.name m) t1 in
+    check bool
+      (Printf.sprintf "seed %d binary fixpoint" seed)
+      true
+      (Netlist.Aiger.write_binary m1 = t1)
+  done
+
+(* degenerate shapes that historically stressed the parser: constant and
+   self-loop next functions, complemented latch feeds, constant
+   properties, input-free models *)
+let edge_models () =
+  let constant_next () =
+    let b = Netlist.Builder.create "constant-next" in
+    let q = Netlist.Builder.latch b ~init:false in
+    Netlist.Builder.connect b q Aig.true_;
+    Netlist.Builder.set_property b (Aig.not_ q);
+    Netlist.Builder.finish b
+  in
+  let self_loop () =
+    let b = Netlist.Builder.create "self-loop" in
+    let q = Netlist.Builder.latch b ~init:true in
+    Netlist.Builder.connect b q (Aig.not_ q);
+    Netlist.Builder.set_property b q;
+    Netlist.Builder.finish b
+  in
+  let constant_property () =
+    let b = Netlist.Builder.create "constant-property" in
+    let aig = Netlist.Builder.aig b in
+    let x = Netlist.Builder.input b in
+    let q = Netlist.Builder.latch b ~init:false in
+    Netlist.Builder.connect b q (Aig.and_ aig x q);
+    Netlist.Builder.set_property b Aig.true_;
+    Netlist.Builder.finish b
+  in
+  let no_inputs () =
+    let b = Netlist.Builder.create "no-inputs" in
+    let aig = Netlist.Builder.aig b in
+    let q1 = Netlist.Builder.latch b ~init:false in
+    let q2 = Netlist.Builder.latch b ~init:true in
+    Netlist.Builder.connect b q1 q2;
+    Netlist.Builder.connect b q2 (Aig.not_ q1);
+    Netlist.Builder.set_property b (Aig.or_ aig q1 q2);
+    Netlist.Builder.finish b
+  in
+  [ constant_next (); self_loop (); constant_property (); no_inputs () ]
+
+let test_aiger_roundtrip_edge_models () =
+  List.iter
+    (fun m ->
+      let name = Netlist.Model.name m in
+      let t1 = Netlist.Aiger.write m in
+      let m1 = Netlist.Aiger.read ~name t1 in
+      check bool (name ^ " ascii fixpoint") true (Netlist.Aiger.write m1 = t1);
+      check bool (name ^ " behaviour preserved") true (models_equivalent m m1);
+      let b1 = Netlist.Aiger.write_binary m in
+      let m2 = Netlist.Aiger.read_binary ~name b1 in
+      check bool (name ^ " binary fixpoint") true (Netlist.Aiger.write_binary m2 = b1))
+    (edge_models ())
+
 let test_aiger_binary_roundtrip () =
   List.iter
     (fun (mk : unit -> Netlist.Model.t) ->
@@ -298,6 +376,11 @@ let () =
           Alcotest.test_case "parse error details" `Quick test_aiger_parse_error_details;
           Alcotest.test_case "two-field latches" `Quick test_aiger_two_field_latches;
           Alcotest.test_case "file io" `Quick test_aiger_file_io;
+          Alcotest.test_case "ascii write∘read fixpoint" `Quick
+            test_aiger_ascii_write_read_fixpoint;
+          Alcotest.test_case "binary write∘read fixpoint" `Quick
+            test_aiger_binary_write_read_fixpoint;
+          Alcotest.test_case "edge-model roundtrips" `Quick test_aiger_roundtrip_edge_models;
           Alcotest.test_case "binary roundtrip" `Quick test_aiger_binary_roundtrip;
           Alcotest.test_case "binary/ascii agreement" `Quick test_aiger_binary_cross_format;
           Alcotest.test_case "binary is compact" `Quick test_aiger_binary_smaller;

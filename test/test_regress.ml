@@ -167,6 +167,66 @@ let test_real_reports_round_trip () =
   check bool "seeded run is deterministic modulo time" true
     (Obs.Regress.passes ~threshold:0.0 ~time_threshold:None outcome)
 
+(* ---------- the CLI exit-code contract (Obs.Regress.main) ---------- *)
+
+(* run the in-process CLI with captured stdout/stderr *)
+let run_cli args =
+  let out_buf = Buffer.create 256 and err_buf = Buffer.create 256 in
+  let out = Format.formatter_of_buffer out_buf and err = Format.formatter_of_buffer err_buf in
+  let code = Obs.Regress.main ~out ~err (Array.of_list ("cbq-bench-regress" :: args)) in
+  Format.pp_print_flush out ();
+  Format.pp_print_flush err ();
+  (code, Buffer.contents out_buf, Buffer.contents err_buf)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_cli_usage_errors () =
+  List.iter
+    (fun args ->
+      let code, out, err = run_cli args in
+      check int (String.concat " " args ^ " exits 2") 2 code;
+      check bool "usage goes to stderr" true (contains err "usage:");
+      check string "stdout stays clean" "" out)
+    [ []; [ "only-one-dir" ]; [ "--bogus-flag"; "a"; "b" ]; [ "-h" ]; [ "a"; "b"; "c" ] ]
+
+let test_cli_bad_threshold () =
+  let code, out, err = run_cli [ "a"; "b"; "--threshold=banana" ] in
+  check int "bad threshold exits 2" 2 code;
+  check bool "diagnostic names the flag" true (contains err "--threshold");
+  check string "stdout stays clean" "" out
+
+let test_cli_missing_directory () =
+  with_two_dirs @@ fun old_dir _new_dir ->
+  let code, out, err = run_cli [ old_dir; "no-such-dir-regress" ] in
+  check int "missing dir exits 2" 2 code;
+  check bool "diagnostic goes to stderr" true (contains err "is not a directory");
+  check string "stdout stays clean" "" out
+
+let test_cli_clean_pair_exits_zero () =
+  with_two_dirs @@ fun old_dir new_dir ->
+  let r = report ~counters:[ ("a", 3) ] () in
+  write_json old_dir "001-row.json" r;
+  write_json new_dir "001-row.json" r;
+  let code, out, err = run_cli [ old_dir; new_dir ] in
+  check int "clean diff exits 0" 0 code;
+  check bool "verdict on stdout" true (contains out "OK: 1 report pair");
+  check string "stderr stays clean" "" err
+
+let test_cli_regression_exits_one () =
+  with_two_dirs @@ fun old_dir new_dir ->
+  write_json old_dir "001-row.json" (report ~counters:[ ("a", 100) ] ());
+  write_json new_dir "001-row.json" (report ~counters:[ ("a", 200) ] ());
+  let code, out, err = run_cli [ old_dir; new_dir ] in
+  check int "gated delta exits 1" 1 code;
+  check bool "verdict on stdout" true (contains out "REGRESSION");
+  check string "stderr stays clean" "" err;
+  (* a wide-open threshold turns the same pair into a pass *)
+  let code, _, _ = run_cli [ old_dir; new_dir; "--threshold=2.0" ] in
+  check int "threshold flag honoured" 0 code
+
 let () =
   Alcotest.run "regress"
     [
@@ -188,4 +248,12 @@ let () =
         ] );
       ( "integration",
         [ Alcotest.test_case "real reports round-trip" `Quick test_real_reports_round_trip ] );
+      ( "cli",
+        [
+          Alcotest.test_case "usage errors exit 2" `Quick test_cli_usage_errors;
+          Alcotest.test_case "bad threshold exits 2" `Quick test_cli_bad_threshold;
+          Alcotest.test_case "missing directory exits 2" `Quick test_cli_missing_directory;
+          Alcotest.test_case "clean pair exits 0" `Quick test_cli_clean_pair_exits_zero;
+          Alcotest.test_case "regression exits 1" `Quick test_cli_regression_exits_one;
+        ] );
     ]

@@ -82,31 +82,9 @@ let test_classes_ordering () =
    literals equal modulo complementation always share a class (structural
    diversity exercises the compiled cone evaluator on both builds) *)
 
-type expr = V of int | Not of expr | And of expr * expr | Or of expr * expr | Xor of expr * expr
-
-let expr_gen n =
-  QCheck.Gen.(
-    sized_size (int_bound 20) (fix (fun self s ->
-        if s <= 1 then map (fun v -> V v) (int_bound (n - 1))
-        else
-          frequency
-            [
-              (1, map (fun v -> V v) (int_bound (n - 1)));
-              (2, map (fun e -> Not e) (self (s - 1)));
-              (2, map2 (fun a b -> And (a, b)) (self (s / 2)) (self (s / 2)));
-              (2, map2 (fun a b -> Or (a, b)) (self (s / 2)) (self (s / 2)));
-              (1, map2 (fun a b -> Xor (a, b)) (self (s / 2)) (self (s / 2)));
-            ])))
-
-let rec build aig = function
-  | V v -> Aig.var aig v
-  | Not e -> Aig.not_ (build aig e)
-  | And (a, b) -> Aig.and_ aig (build aig a) (build aig b)
-  | Or (a, b) -> Aig.or_ aig (build aig a) (build aig b)
-  | Xor (a, b) -> Aig.xor_ aig (build aig a) (build aig b)
-
 let nvars = 4
-let qc_pair = QCheck.make ~print:(fun _ -> "<exprs>") QCheck.Gen.(pair (expr_gen nvars) (expr_gen nvars))
+let build = Gen_util.build_aig
+let qc_pair = Gen_util.qc_pair nvars
 
 let signatures_never_separate_equals =
   QCheck.Test.make ~name:"equal functions always share a class" ~count:80 qc_pair
@@ -228,7 +206,7 @@ let qc_dc =
   QCheck.make
     ~print:(fun _ -> "<exprs+patterns>")
     QCheck.Gen.(
-      triple (expr_gen nvars) (expr_gen nvars)
+      triple (Gen_util.expr_gen nvars) (Gen_util.expr_gen nvars)
         (list_size (int_bound 4) (array_size (return nvars) bool)))
 
 let prefilter_never_blocks_provable_replacements =

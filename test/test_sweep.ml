@@ -206,31 +206,9 @@ let test_sweep_lits_wrapper () =
 
 (* ---------- property: sweeping never changes semantics ---------- *)
 
-type expr = V of int | Not of expr | And of expr * expr | Or of expr * expr | Xor of expr * expr
-
-let expr_gen n =
-  QCheck.Gen.(
-    sized_size (int_bound 20) (fix (fun self s ->
-        if s <= 1 then map (fun v -> V v) (int_bound (n - 1))
-        else
-          frequency
-            [
-              (1, map (fun v -> V v) (int_bound (n - 1)));
-              (2, map (fun e -> Not e) (self (s - 1)));
-              (2, map2 (fun a b -> And (a, b)) (self (s / 2)) (self (s / 2)));
-              (2, map2 (fun a b -> Or (a, b)) (self (s / 2)) (self (s / 2)));
-              (1, map2 (fun a b -> Xor (a, b)) (self (s / 2)) (self (s / 2)));
-            ])))
-
-let rec build aig = function
-  | V v -> Aig.var aig v
-  | Not e -> Aig.not_ (build aig e)
-  | And (a, b) -> Aig.and_ aig (build aig a) (build aig b)
-  | Or (a, b) -> Aig.or_ aig (build aig a) (build aig b)
-  | Xor (a, b) -> Aig.xor_ aig (build aig a) (build aig b)
-
 let nvars = 4
-let qc_pair = QCheck.make ~print:(fun _ -> "<exprs>") QCheck.Gen.(pair (expr_gen nvars) (expr_gen nvars))
+let build = Gen_util.build_aig
+let qc_pair = Gen_util.qc_pair nvars
 
 let sweeping_preserves_semantics =
   QCheck.Test.make ~name:"sweeping preserves both roots" ~count:60 qc_pair (fun (e1, e2) ->
