@@ -1,51 +1,67 @@
 type problem = { num_vars : int; clauses : Lit.t list list }
 
-let parse text =
+exception Parse_error of { line : int; token : string; reason : string }
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error { line; token; reason } ->
+      Some
+        (Printf.sprintf "Dimacs.Parse_error (line %d%s): %s" line
+           (if token = "" then "" else Printf.sprintf ", token %S" token)
+           reason)
+    | _ -> None)
+
+let parse_error ~line ~token reason = raise (Parse_error { line; token; reason })
+
+let parse_exn text =
   let lines = String.split_on_char '\n' text in
   let header = ref None in
   let clauses = ref [] in
   let current = ref [] in
-  let error = ref None in
+  let current_line = ref 0 in
   let max_var = ref 0 in
   List.iteri
     (fun idx raw ->
-      if !error = None then begin
-        let lineno = idx + 1 in
-        let line = String.trim raw in
-        if line = "" || (String.length line > 0 && (line.[0] = 'c' || line.[0] = '%')) then ()
-        else if String.length line > 0 && line.[0] = 'p' then begin
-          match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
-          | [ "p"; "cnf"; v; c ] -> (
-            match (int_of_string_opt v, int_of_string_opt c) with
-            | Some nv, Some nc when nv >= 0 && nc >= 0 -> header := Some nv
-            | _ -> error := Some (Printf.sprintf "line %d: bad problem line" lineno))
-          | _ -> error := Some (Printf.sprintf "line %d: bad problem line" lineno)
-        end
-        else begin
-          let tokens = String.split_on_char ' ' line |> List.filter (fun s -> s <> "") in
-          List.iter
-            (fun tok ->
-              if !error = None then
-                match int_of_string_opt tok with
-                | None -> error := Some (Printf.sprintf "line %d: bad literal %S" lineno tok)
-                | Some 0 ->
-                  clauses := List.rev !current :: !clauses;
-                  current := []
-                | Some d ->
-                  let v = abs d - 1 in
-                  if v + 1 > !max_var then max_var := v + 1;
-                  current := Lit.make v (d < 0) :: !current)
-            tokens
-        end
-      end)
+      let lineno = idx + 1 in
+      let line = String.trim raw in
+      if line = "" || line.[0] = 'c' || line.[0] = '%' then ()
+      else if line.[0] = 'p' then begin
+        if !header <> None then parse_error ~line:lineno ~token:line "duplicate problem line";
+        match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+        | [ "p"; "cnf"; v; c ] -> (
+          match (int_of_string_opt v, int_of_string_opt c) with
+          | Some nv, Some nc when nv >= 0 && nc >= 0 -> header := Some nv
+          | _ ->
+            parse_error ~line:lineno ~token:line "problem line needs non-negative var/clause counts")
+        | _ -> parse_error ~line:lineno ~token:line "expected `p cnf <vars> <clauses>'"
+      end
+      else
+        String.split_on_char ' ' line
+        |> List.filter (fun s -> s <> "")
+        |> List.iter (fun tok ->
+             match int_of_string_opt tok with
+             | None -> parse_error ~line:lineno ~token:tok "literal is not an integer"
+             | Some 0 ->
+               clauses := List.rev !current :: !clauses;
+               current := []
+             | Some d ->
+               let v = abs d - 1 in
+               if v + 1 > !max_var then max_var := v + 1;
+               if !current = [] then current_line := lineno;
+               current := Lit.make v (d < 0) :: !current))
     lines;
-  match !error with
-  | Some msg -> Error msg
-  | None ->
-    if !current <> [] then Error "trailing clause without terminating 0"
-    else
-      let declared = Option.value !header ~default:!max_var in
-      Ok { num_vars = max declared !max_var; clauses = List.rev !clauses }
+  if !current <> [] then
+    parse_error ~line:!current_line ~token:"" "trailing clause without terminating 0";
+  let declared = Option.value !header ~default:!max_var in
+  { num_vars = max declared !max_var; clauses = List.rev !clauses }
+
+let parse text =
+  match parse_exn text with
+  | p -> Ok p
+  | exception Parse_error { line; token; reason } ->
+    Error
+      (Printf.sprintf "line %d: %s%s" line reason
+         (if token = "" then "" else Printf.sprintf " (token %S)" token))
 
 let render p =
   let buf = Buffer.create 256 in

@@ -7,7 +7,18 @@
 
 type problem = { num_vars : int; clauses : Lit.t list list }
 
-(** [parse s] — [Error msg] carries a line-numbered diagnostic. *)
+(** Raised by {!parse_exn} on malformed input. [line] is 1-based;
+    [token] is the offending token ([""] when the whole line is at
+    fault); [reason] says what was expected. A printer is registered
+    with [Printexc], mirroring [Netlist.Aiger.Parse_error]. *)
+exception Parse_error of { line : int; token : string; reason : string }
+
+(** [parse_exn s] parses DIMACS text.
+    @raise Parse_error on malformed input. *)
+val parse_exn : string -> problem
+
+(** [parse s] — {!parse_exn} with the error folded into a line-numbered
+    diagnostic string. *)
 val parse : string -> (problem, string) result
 
 (** [render p] — canonical DIMACS text. *)

@@ -396,6 +396,157 @@ let test_many_vars () =
   check result_t "long chain sat" Sat.Solver.Sat (Sat.Solver.solve s);
   check (Alcotest.option bool) "last var forced" (Some true) (Sat.Solver.value s v.(n - 1))
 
+(* ---------- DIMACS hardening and DIMACS-driven solver tests ---------- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_dimacs_parse_errors () =
+  (match Sat.Dimacs.parse_exn "p cnf x 2\n1 0\n" with
+  | _ -> Alcotest.fail "malformed header accepted"
+  | exception Sat.Dimacs.Parse_error { line; token; reason } ->
+    check int "header: line" 1 line;
+    check Alcotest.string "header: token" "p cnf x 2" token;
+    check bool "header: reason mentions counts" true (contains reason "counts"));
+  (match Sat.Dimacs.parse_exn "p cnf 2 1\n1 two 0\n" with
+  | _ -> Alcotest.fail "non-integer literal accepted"
+  | exception Sat.Dimacs.Parse_error { line; token; reason } ->
+    check int "literal: line" 2 line;
+    check Alcotest.string "literal: token" "two" token;
+    check Alcotest.string "literal: reason" "literal is not an integer" reason);
+  (match Sat.Dimacs.parse_exn "p cnf 2 1\np cnf 2 1\n1 0\n" with
+  | _ -> Alcotest.fail "duplicate problem line accepted"
+  | exception Sat.Dimacs.Parse_error { line; reason; _ } ->
+    check int "duplicate p: line" 2 line;
+    check Alcotest.string "duplicate p: reason" "duplicate problem line" reason);
+  (match Sat.Dimacs.parse_exn "p cnf 3 1\n1 2\n3 " with
+  | _ -> Alcotest.fail "unterminated clause accepted"
+  | exception Sat.Dimacs.Parse_error { line; token; _ } ->
+    check int "trailing: line points at clause start" 2 line;
+    check Alcotest.string "trailing: no single token at fault" "" token);
+  (* the structured error goes through the registered Printexc printer *)
+  (match Sat.Dimacs.parse_exn "p cnf -1 0\n" with
+  | _ -> Alcotest.fail "negative var count accepted"
+  | exception e ->
+    let s = Printexc.to_string e in
+    check bool "printer names the exception" true (contains s "Dimacs.Parse_error");
+    check bool "printer names the line" true (contains s "line 1"));
+  (* parse folds the same diagnostics into a string *)
+  match Sat.Dimacs.parse "p cnf 2 1\n1 two 0\n" with
+  | Ok _ -> Alcotest.fail "parse accepted malformed input"
+  | Error msg ->
+    check bool "Error carries line" true (contains msg "line 2");
+    check bool "Error carries token" true (contains msg "\"two\"")
+
+let load_dimacs text =
+  let p = Sat.Dimacs.parse_exn text in
+  let s = Sat.Solver.create () in
+  let ok = Sat.Dimacs.load s p in
+  (s, ok)
+
+let test_dimacs_incremental () =
+  let s, ok = load_dimacs "p cnf 4 2\n1 2 3 4 0\n-1 -2 0\n" in
+  check bool "load ok" true ok;
+  check result_t "initial sat" Sat.Solver.Sat (Sat.Solver.solve s);
+  (* strengthen between solve calls: forbid the low half... *)
+  ignore (Sat.Solver.add_clause s [ ln 0 ]);
+  ignore (Sat.Solver.add_clause s [ ln 1 ]);
+  check result_t "still sat" Sat.Solver.Sat (Sat.Solver.solve s);
+  (* ...then everything *)
+  ignore (Sat.Solver.add_clause s [ ln 2 ]);
+  ignore (Sat.Solver.add_clause s [ ln 3 ]);
+  check result_t "strengthened to unsat" Sat.Solver.Unsat (Sat.Solver.solve s);
+  check bool "database itself unsat" false (Sat.Solver.ok s)
+
+let test_dimacs_assumption_core () =
+  (* (¬1 ∨ ¬2): assuming 1, 2 and 4 together is inconsistent, but 4 is
+     irrelevant — the reported core must already be inconsistent alone *)
+  let s, ok = load_dimacs "p cnf 4 1\n-1 -2 0\n" in
+  check bool "load ok" true ok;
+  let a = [ lp 0; lp 1; lp 3 ] in
+  check result_t "unsat under assumptions" Sat.Solver.Unsat (Sat.Solver.solve ~assumptions:a s);
+  let core = Sat.Solver.failed_assumptions s in
+  check bool "core non-empty" true (core <> []);
+  List.iter
+    (fun l -> check bool "core literal was assumed" true (List.mem l a))
+    core;
+  check result_t "core alone is already unsat" Sat.Solver.Unsat
+    (Sat.Solver.solve ~assumptions:core s);
+  check result_t "without assumptions the db is sat" Sat.Solver.Sat (Sat.Solver.solve s)
+
+let php_dimacs holes =
+  let pigeons = holes + 1 in
+  let var p h = (p * holes) + h + 1 in
+  let clauses = ref [] in
+  for p = 0 to pigeons - 1 do
+    clauses := List.init holes (fun h -> var p h) :: !clauses
+  done;
+  for h = 0 to holes - 1 do
+    for p1 = 0 to pigeons - 1 do
+      for p2 = p1 + 1 to pigeons - 1 do
+        clauses := [ -var p1 h; -var p2 h ] :: !clauses
+      done
+    done
+  done;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" (pigeons * holes) (List.length !clauses));
+  List.iter
+    (fun c ->
+      List.iter (fun d -> Buffer.add_string buf (string_of_int d ^ " ")) c;
+      Buffer.add_string buf "0\n")
+    !clauses;
+  Buffer.contents buf
+
+let test_dimacs_conflict_limit () =
+  let text = php_dimacs 8 in
+  (* render/parse roundtrip preserves the problem *)
+  let p = Sat.Dimacs.parse_exn text in
+  let p' = Sat.Dimacs.parse_exn (Sat.Dimacs.render p) in
+  check int "roundtrip vars" p.Sat.Dimacs.num_vars p'.Sat.Dimacs.num_vars;
+  check int "roundtrip clauses" (List.length p.Sat.Dimacs.clauses)
+    (List.length p'.Sat.Dimacs.clauses);
+  let s = Sat.Solver.create () in
+  check bool "load ok" true (Sat.Dimacs.load s p');
+  check result_t "tiny budget gives Unknown" Sat.Solver.Unknown
+    (Sat.Solver.solve ~conflict_limit:5 s);
+  check result_t "unbudgeted finishes the proof" Sat.Solver.Unsat (Sat.Solver.solve s)
+
+(* ---------- arena-GC stress: forced DB reductions preserve verdicts ---------- *)
+
+let test_gc_stress () =
+  let vars = 60 in
+  let prng = Util.Prng.create 0xdecaf in
+  let rand_lit () = Sat.Lit.make (Util.Prng.int prng vars) (Util.Prng.bool prng) in
+  let clauses = List.init 250 (fun _ -> List.init 3 (fun _ -> rand_lit ())) in
+  let queries = List.init 40 (fun _ -> List.init 3 (fun _ -> rand_lit ())) in
+  let stressed = Sat.Solver.create () in
+  for _ = 1 to vars do
+    ignore (Sat.Solver.new_var stressed)
+  done;
+  List.iter (fun c -> ignore (Sat.Solver.add_clause stressed c)) clauses;
+  (* a budget this small forces a learnt-DB reduction every few conflicts,
+     which in turn piles up arena waste and triggers compaction *)
+  Sat.Solver.set_learnt_budget stressed 8;
+  List.iteri
+    (fun q assumptions ->
+      let got = Sat.Solver.solve ~assumptions stressed in
+      if q mod 5 = 4 then ignore (Sat.Solver.simplify stressed);
+      let reference = Sat.Solver.create () in
+      for _ = 1 to vars do
+        ignore (Sat.Solver.new_var reference)
+      done;
+      List.iter (fun c -> ignore (Sat.Solver.add_clause reference c)) clauses;
+      check result_t
+        (Printf.sprintf "query %d agrees with fresh solver" q)
+        (Sat.Solver.solve ~assumptions reference)
+        got)
+    queries;
+  let st = Sat.Solver.stats stressed in
+  check bool "reductions were actually forced" true (st.Sat.Solver.db_reductions > 0)
+
 let () =
   Alcotest.run "sat"
     [
@@ -425,6 +576,15 @@ let () =
           Alcotest.test_case "conflict limit" `Quick test_conflict_limit;
           Alcotest.test_case "stats progress" `Quick test_stats_progress;
         ] );
+      ( "dimacs",
+        [
+          Alcotest.test_case "structured parse errors" `Quick test_dimacs_parse_errors;
+          Alcotest.test_case "incremental add-between-solves" `Quick test_dimacs_incremental;
+          Alcotest.test_case "assumption core" `Quick test_dimacs_assumption_core;
+          Alcotest.test_case "conflict-limit Unknown" `Quick test_dimacs_conflict_limit;
+        ] );
+      ( "stress",
+        [ Alcotest.test_case "arena GC preserves verdicts" `Quick test_gc_stress ] );
       ( "properties",
         [
           QCheck_alcotest.to_alcotest solver_matches_brute_force;
