@@ -17,6 +17,9 @@
      dune exec bench/main.exe -- --no-micro
      dune exec bench/main.exe -- --stats-dir=reports T4
                                          -- one JSON run report per row
+     dune exec bench/main.exe -- --store=runs T4
+                                         -- append each row's report to a
+                                            run-report store (cbq_mc report)
      dune exec bench/main.exe -- --row-timeout=5 T4
                                          -- fresh 5s wall-clock governor per
                                             engine row (rows degrade to
@@ -27,6 +30,7 @@ let quick = ref false
 let run_micro = ref true
 let selected : string list ref = ref []
 let stats_dir : string option ref = ref None
+let store_dir : string option ref = ref None
 let row_timeout : float option ref = ref None
 
 let () =
@@ -39,6 +43,8 @@ let () =
         | "--micro" -> run_micro := true
         | s when String.length s > 12 && String.sub s 0 12 = "--stats-dir=" ->
           stats_dir := Some (String.sub s 12 (String.length s - 12))
+        | s when String.length s > 8 && String.sub s 0 8 = "--store=" ->
+          store_dir := Some (String.sub s 8 (String.length s - 8))
         | s when String.length s > 14 && String.sub s 0 14 = "--row-timeout=" ->
           row_timeout := float_of_string_opt (String.sub s 14 (String.length s - 14))
         | s -> selected := String.uppercase_ascii s :: !selected)
@@ -68,11 +74,25 @@ let line fmt = Format.printf fmt
    fast path. *)
 let report_seq = ref 0
 
-let with_report label f =
-  match !stats_dir with
-  | None -> f ()
+(* --store=DIR additionally appends every row's report to a run-report
+   store, so `cbq_mc report trend` can track a row across bench
+   invocations; the store handle is opened once, on first use *)
+let store_handle = ref None
+
+let store () =
+  match !store_dir with
+  | None -> None
   | Some dir ->
-    Util.Fs.mkdirs dir;
+    (match !store_handle with
+    | Some _ -> ()
+    | None -> store_handle := Some (Obs.Store.open_ dir));
+    !store_handle
+
+let with_report label f =
+  match (!stats_dir, !store_dir) with
+  | None, None -> f ()
+  | _ ->
+    Option.iter Util.Fs.mkdirs !stats_dir;
     Obs.reset ();
     Obs.set_enabled true;
     (* disarm even if the row raises, so one broken experiment cannot
@@ -86,8 +106,12 @@ let with_report label f =
         (function ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_') as c -> c | _ -> '-')
         label
     in
-    let path = Filename.concat dir (Printf.sprintf "%03d-%s.json" !report_seq sanitized) in
-    Obs.write_report path;
+    (match !stats_dir with
+    | Some dir ->
+      let path = Filename.concat dir (Printf.sprintf "%03d-%s.json" !report_seq sanitized) in
+      Obs.write_report path
+    | None -> ());
+    Option.iter (fun st -> ignore (Obs.Store.append st (Obs.report ()))) (store ());
     Obs.reset ();
     result
 

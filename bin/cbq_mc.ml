@@ -238,9 +238,28 @@ let progress_arg =
     & info [ "progress" ]
         ~doc:"report live per-frame progress on stderr (updated in place on a terminal)")
 
+let sample_interval_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "sample-interval" ] ~docv:"SEC"
+        ~doc:
+          "sample heap size, counter values and remaining budgets every $(docv) seconds on a \
+           background domain; the series lands in the run report's timeseries section and as \
+           counter rows in --trace-json")
+
+let store_opt_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "append the run report to the store at $(docv) (see $(b,cbq-mc report) for querying \
+           stored runs)")
+
 let engine_name engine = fst (List.find (fun (_, e) -> e = engine) engine_names)
 
-let emit_stats ~stats ~stats_json ~model ~engine ~watch ~limits outcome =
+let emit_stats ~stats ~stats_json ~store ~model ~engine ~watch ~limits outcome =
   Obs.meta "tool" "cbq-mc";
   Obs.meta "model" (Netlist.Model.name model);
   Obs.meta "engine" (engine_name engine);
@@ -254,19 +273,28 @@ let emit_stats ~stats ~stats_json ~model ~engine ~watch ~limits outcome =
   | None -> ());
   Obs.meta "seconds" (Printf.sprintf "%.6f" (Util.Stopwatch.elapsed watch));
   if stats then Format.printf "%a" Obs.pp_summary ();
-  match stats_json with
+  (match stats_json with
   | Some path ->
     Obs.write_report path;
     Format.printf "stats: wrote %s@." path
+  | None -> ());
+  match store with
+  | Some dir ->
+    let st = Obs.Store.open_ dir in
+    let entry = Obs.Store.append st (Obs.report ()) in
+    Format.printf "store: appended run %d to %s@." entry.Obs.Store.id dir
   | None -> ()
 
 let run_cmd =
   let doc = "verify a circuit's safety property" in
   let run circuit param aag engine verbose trace seq_sweep coi minimize stats stats_json
-      trace_json progress timeout max_conflicts max_aig_nodes max_bdd_nodes =
-    (* --progress reads the sweep merge counters, so it needs the registry
-       live even without --stats *)
-    if stats || stats_json <> None || progress then begin
+      trace_json progress sample_interval store timeout max_conflicts max_aig_nodes
+      max_bdd_nodes =
+    (* --progress reads the sweep merge counters, --sample-interval and
+       --store record them, so all three need the registry live even
+       without --stats *)
+    let want_stats = stats || stats_json <> None || store <> None in
+    if want_stats || progress || sample_interval <> None then begin
       Obs.reset ();
       Obs.set_enabled true
     end;
@@ -283,34 +311,49 @@ let run_cmd =
       then Util.Limits.unlimited
       else Util.Limits.create ?timeout ?max_conflicts ?max_aig_nodes ?max_bdd_nodes ()
     in
-    let model, status = load_model circuit param aag in
-    Format.printf "model %s: %a@." (Netlist.Model.name model) Netlist.Model.pp_stats
-      (Netlist.Model.stats model);
-    let model =
-      if coi then begin
-        let reduced, report = Netlist.Coi.reduce model in
-        Format.printf "coi: %a@." Netlist.Coi.pp_report report;
-        reduced
-      end
-      else model
+    (* the sampler covers model build and reductions, not just the
+       engine: a run that dies loading a huge AIG should still leave a
+       heap curve *)
+    let sampler =
+      Option.map (fun interval -> Obs.Sampler.start ~interval ~limits ()) sample_interval
     in
-    let model =
-      if seq_sweep then begin
-        let reduced, report = Cbq.Seq_sweep.reduce model in
-        Format.printf "seq-sweep: %a@." Cbq.Seq_sweep.pp_report report;
-        reduced
-      end
-      else model
+    (* teardown must survive an engine exception: the sampler domain is
+       joined (an unjoined domain outlives main) and the progress line
+       is terminated so the trace doesn't land mid-line *)
+    let model, status, outcome =
+      Fun.protect
+        ~finally:(fun () ->
+          Option.iter Obs.Sampler.stop sampler;
+          Obs.Progress.finish ())
+        (fun () ->
+          let model, status = load_model circuit param aag in
+          Format.printf "model %s: %a@." (Netlist.Model.name model) Netlist.Model.pp_stats
+            (Netlist.Model.stats model);
+          let model =
+            if coi then begin
+              let reduced, report = Netlist.Coi.reduce model in
+              Format.printf "coi: %a@." Netlist.Coi.pp_report report;
+              reduced
+            end
+            else model
+          in
+          let model =
+            if seq_sweep then begin
+              let reduced, report = Cbq.Seq_sweep.reduce model in
+              Format.printf "seq-sweep: %a@." Cbq.Seq_sweep.pp_report report;
+              reduced
+            end
+            else model
+          in
+          let outcome = run_engine ~minimize ~limits engine model verbose trace in
+          (model, status, outcome))
     in
-    let outcome = run_engine ~minimize ~limits engine model verbose trace in
-    if progress then Obs.Progress.finish ();
     (match Util.Limits.exhausted limits with
     | Some r ->
       Format.printf "limits: %s exhausted after %.2fs@." (Util.Limits.resource_name r)
         (Util.Limits.elapsed limits)
     | None -> ());
-    if stats || stats_json <> None then
-      emit_stats ~stats ~stats_json ~model ~engine ~watch ~limits outcome;
+    if want_stats then emit_stats ~stats ~stats_json ~store ~model ~engine ~watch ~limits outcome;
     (match trace_json with
     | Some path ->
       Obs.Trace_events.set_enabled false;
@@ -340,8 +383,8 @@ let run_cmd =
     Term.(
       const run $ circuit_arg $ param_arg $ aag_arg $ engine_arg $ verbose_arg $ trace_arg
       $ seq_sweep_arg $ coi_arg $ minimize_arg $ stats_arg $ stats_json_arg $ trace_json_arg
-      $ progress_arg $ timeout_arg $ max_conflicts_arg $ max_aig_nodes_arg
-      $ max_bdd_nodes_arg) )
+      $ progress_arg $ sample_interval_arg $ store_opt_arg $ timeout_arg $ max_conflicts_arg
+      $ max_aig_nodes_arg $ max_bdd_nodes_arg) )
 
 let run_term = snd run_cmd
 let run_cmd = Cmd.v (fst run_cmd) run_term
@@ -613,6 +656,186 @@ let sat_cmd =
   in
   Cmd.v (Cmd.info "sat" ~doc) Term.(const run $ file_arg)
 
+(* ---------- report ----------
+
+   Query the on-disk run-report store written by `run --store DIR`:
+   list stored runs, show one, diff two by id, and walk the trend of
+   the last N runs of one model/engine family. Exit codes follow the
+   regression differ: 0 clean, 1 gated drift, 2 usage or store error. *)
+
+let report_store_arg =
+  Arg.(
+    value & opt string "runs"
+    & info [ "store" ] ~docv:"DIR" ~doc:"run-report store directory (default: runs)")
+
+let model_filter_arg =
+  Arg.(value & opt (some string) None & info [ "model" ] ~docv:"NAME" ~doc:"only runs of this model")
+
+let engine_filter_arg =
+  Arg.(value & opt (some string) None & info [ "engine" ] ~docv:"ENGINE" ~doc:"only runs of this engine")
+
+let report_threshold_arg =
+  Arg.(
+    value & opt float 0.1
+    & info [ "threshold" ] ~docv:"REL" ~doc:"relative gate for deterministic metrics (default 0.1)")
+
+let report_time_threshold_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "time-threshold" ] ~docv:"REL"
+        ~doc:"also gate wall-clock span seconds at this relative delta (default: not gated)")
+
+let store_fail msg =
+  Format.eprintf "cbq-mc report: %s@." msg;
+  exit 2
+
+let open_store dir =
+  try Obs.Store.open_ dir with
+  | Sys_error msg -> store_fail msg
+  | Unix.Unix_error (e, _, arg) -> store_fail (Printf.sprintf "%s: %s" arg (Unix.error_message e))
+
+let print_meta_diff =
+  List.iter (fun (key, o, n) -> Format.printf "  meta: %s differs: %s -> %s@." key o n)
+
+let print_deltas ~threshold ~time_threshold deltas =
+  List.iter
+    (fun d ->
+      Format.printf "  %s%a@."
+        (if Obs.Regress.exceeds ~threshold ~time_threshold d then "! " else "  ")
+        Obs.Regress.pp_delta d)
+    deltas
+
+let report_list_cmd =
+  let doc = "list stored runs (newest last)" in
+  let run dir model engine =
+    let store = open_store dir in
+    let entries = Obs.Store.select ?model ?engine store in
+    if entries = [] then Format.printf "no stored runs in %s@." (Obs.Store.dir store)
+    else begin
+      Format.printf "%4s  %-20s  %-16s  %-10s  %s@." "id" "stored_at" "model" "engine" "verdict";
+      List.iter
+        (fun e ->
+          Format.printf "%4d  %-20s  %-16s  %-10s  %s@." e.Obs.Store.id e.Obs.Store.stored_at
+            e.Obs.Store.model e.Obs.Store.engine e.Obs.Store.verdict)
+        entries
+    end
+  in
+  Cmd.v (Cmd.info "list" ~doc)
+    Term.(const run $ report_store_arg $ model_filter_arg $ engine_filter_arg)
+
+let report_show_cmd =
+  let doc = "print one stored run report as JSON" in
+  let id_arg = Arg.(required & pos 0 (some int) None & info [] ~docv:"ID" ~doc:"run id") in
+  let run dir id =
+    let store = open_store dir in
+    match Obs.Store.load store id with
+    | Error msg -> store_fail msg
+    | Ok (_, report) -> Format.printf "%a@." Obs.Json.pp report
+  in
+  Cmd.v (Cmd.info "show" ~doc) Term.(const run $ report_store_arg $ id_arg)
+
+let report_diff_cmd =
+  let doc = "diff two stored runs by id, gating metric drift" in
+  let old_arg = Arg.(required & pos 0 (some int) None & info [] ~docv:"OLD_ID" ~doc:"baseline run id") in
+  let new_arg = Arg.(required & pos 1 (some int) None & info [] ~docv:"NEW_ID" ~doc:"candidate run id") in
+  let run dir old_id new_id threshold time_threshold =
+    let store = open_store dir in
+    let load id =
+      match Obs.Store.load store id with
+      | Error msg -> store_fail msg
+      | Ok (entry, report) -> (
+        match Obs.Regress.validate_report report with
+        | Error msg -> store_fail (Printf.sprintf "run %d: invalid report: %s" id msg)
+        | Ok report -> (entry, report))
+    in
+    let _, old_report = load old_id and _, new_report = load new_id in
+    print_meta_diff (Obs.Regress.meta_mismatches old_report new_report);
+    let deltas = Obs.Regress.compare_reports old_report new_report in
+    print_deltas ~threshold ~time_threshold deltas;
+    let gated =
+      List.filter (Obs.Regress.exceeds ~threshold ~time_threshold) deltas |> List.length
+    in
+    if gated = 0 then Format.printf "OK: runs %d -> %d within thresholds@." old_id new_id
+    else begin
+      Format.printf "DRIFT: %d gated delta%s between runs %d and %d@." gated
+        (if gated = 1 then "" else "s")
+        old_id new_id;
+      exit 1
+    end
+  in
+  Cmd.v (Cmd.info "diff" ~doc)
+    Term.(
+      const run $ report_store_arg $ old_arg $ new_arg $ report_threshold_arg
+      $ report_time_threshold_arg)
+
+let report_trend_cmd =
+  let doc = "walk the last N stored runs of one model/engine family and flag metric drift" in
+  let last_arg =
+    Arg.(value & opt int 5 & info [ "last" ] ~docv:"N" ~doc:"window size (default 5)")
+  in
+  let run dir model engine last threshold time_threshold =
+    let store = open_store dir in
+    (* default family: whatever the newest stored run is *)
+    let model, engine =
+      match (model, engine, List.rev (Obs.Store.entries store)) with
+      | (Some _ as m), (Some _ as e), _ -> (m, e)
+      | _, _, [] -> store_fail (Printf.sprintf "store %s is empty" (Obs.Store.dir store))
+      | m, e, newest :: _ ->
+        ( Some (Option.value m ~default:newest.Obs.Store.model),
+          Some (Option.value e ~default:newest.Obs.Store.engine) )
+    in
+    let entries = Obs.Store.select ?model ?engine ~last store in
+    if List.length entries < 2 then
+      store_fail
+        (Printf.sprintf "need at least 2 stored runs of model=%s engine=%s, have %d"
+           (Option.get model) (Option.get engine) (List.length entries));
+    let labeled =
+      List.map
+        (fun e ->
+          match Obs.Store.load store e.Obs.Store.id with
+          | Error msg -> store_fail msg
+          | Ok (_, report) -> (Printf.sprintf "run %d" e.Obs.Store.id, report))
+        entries
+    in
+    Format.printf "trend: %d runs of model=%s engine=%s@." (List.length entries)
+      (Option.get model) (Option.get engine);
+    match Obs.Regress.trend labeled with
+    | Error msg -> store_fail msg
+    | Ok steps ->
+      let flagged = ref 0 in
+      List.iter
+        (fun s ->
+          let gated =
+            List.filter
+              (Obs.Regress.exceeds ~threshold ~time_threshold)
+              s.Obs.Regress.step_deltas
+          in
+          flagged := !flagged + List.length gated;
+          if s.Obs.Regress.step_deltas <> [] || s.Obs.Regress.step_meta_diff <> [] then begin
+            Format.printf "%s -> %s:@." s.Obs.Regress.from_label s.Obs.Regress.to_label;
+            print_meta_diff s.Obs.Regress.step_meta_diff;
+            print_deltas ~threshold ~time_threshold s.Obs.Regress.step_deltas
+          end)
+        steps;
+      if !flagged = 0 then Format.printf "OK: no gated drift across %d steps@." (List.length steps)
+      else begin
+        Format.printf "DRIFT: %d gated delta%s across %d steps@." !flagged
+          (if !flagged = 1 then "" else "s")
+          (List.length steps);
+        exit 1
+      end
+  in
+  Cmd.v (Cmd.info "trend" ~doc)
+    Term.(
+      const run $ report_store_arg $ model_filter_arg $ engine_filter_arg $ last_arg
+      $ report_threshold_arg $ report_time_threshold_arg)
+
+let report_cmd =
+  let doc = "query the run-report store (list, show, diff, trend)" in
+  Cmd.group (Cmd.info "report" ~doc)
+    [ report_list_cmd; report_show_cmd; report_diff_cmd; report_trend_cmd ]
+
 let () =
   let doc = "circuit-based quantification model checker (DATE'05 reproduction)" in
   let info = Cmd.info "cbq-mc" ~version:"1.0.0" ~doc in
@@ -620,4 +843,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default:run_term info
-          [ list_cmd; run_cmd; export_cmd; reduce_cmd; quantify_cmd; cec_cmd; fuzz_cmd; sat_cmd ]))
+          [
+            list_cmd; run_cmd; export_cmd; reduce_cmd; quantify_cmd; cec_cmd; fuzz_cmd; sat_cmd;
+            report_cmd;
+          ]))

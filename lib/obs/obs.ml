@@ -1,13 +1,16 @@
 (* Facade over the observability layer. The implementation is split by
    concern — [Json] (serialization), [Registry] (aggregate metrics and
    run reports), [Trace_events] (timeline tracing), [Progress] (live
-   frame reporting), [Regress] (report-tree diffing) — and re-exported
-   here so call sites keep the flat [Obs.incr] / [Obs.Trace_events.*]
-   spelling and the library presents one module. *)
+   frame reporting), [Regress] (report-tree diffing), [Sampler]
+   (resource time-series) and [Store] (on-disk run-report store) — and
+   re-exported here so call sites keep the flat [Obs.incr] /
+   [Obs.Trace_events.*] spelling and the library presents one module. *)
 
 module Json = Json
 module Trace_events = Trace_events
 module Progress = Progress
 module Regress = Regress
 module Limits = Limits_obs
+module Sampler = Sampler
+module Store = Store
 include Registry

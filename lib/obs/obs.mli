@@ -17,6 +17,17 @@
     call) and prefer {!add_seconds} with an existing measurement where a
     stopwatch is already running.
 
+    {b Domain safety.} The registry is safe under OCaml 5 domains:
+    counters are atomics (concurrent {!incr}/{!add} lose no update and
+    {!report} reads exact totals), spans and histograms serialize their
+    multi-field updates through a per-handle mutex, and registration,
+    metadata and report assembly go through one registry mutex. The
+    disabled guard stays a single unsynchronized load — flipping
+    {!enabled} while other domains record is a benign race. The
+    timeline trace ({!Trace_events}) is the exception: its ring buffer
+    is single-domain, record only from the domain that owns the run
+    (the {!Sampler} obeys this by replaying its series from {!Sampler.stop}).
+
     The report schema is documented in [docs/OBSERVABILITY.md]; this
     module is its single source of truth. *)
 
@@ -194,6 +205,17 @@ module Trace_events : sig
       over the run, e.g. the frontier size per frame. *)
   val sample : string -> int -> unit
 
+  (** Microseconds on the trace-epoch timeline right now, without
+      recording anything. Safe to call from any domain (it only reads
+      the monotonic clock); pair with {!sample_at}. *)
+  val timestamp_us : unit -> float
+
+  (** [sample_at ts name v] records a counter sample at an explicit
+      timestamp (from {!timestamp_us}) — how the resource sampler
+      replays points captured on another domain into the
+      single-domain ring. Must be called from the tracing domain. *)
+  val sample_at : float -> string -> int -> unit
+
   (** [with_phase name f] wraps [f ()] in a begin/end pair (closed on
       exceptions too). Allocates its closure even when disabled — prefer
       explicit {!begin_}/{!end_} on hot paths. *)
@@ -202,17 +224,22 @@ module Trace_events : sig
   type event = Trace_events.event = {
     ev_name : string;
     ev_ph : char;  (** ['B'] begin, ['E'] end, ['i'] instant, ['C'] counter *)
-    ev_ts : float;  (** microseconds since the trace epoch, non-decreasing *)
+    ev_ts : float;
+        (** microseconds since the trace epoch; non-decreasing in recording
+            order except for {!sample_at} replays, which carry their
+            capture-time timestamps (the export re-sorts) *)
     ev_arg_key : string;  (** [""] when the event carries no argument *)
     ev_arg_value : int;
   }
 
-  (** Oldest-first snapshot of the ring, raw (no balance repair). *)
+  (** Recording-order snapshot of the ring (oldest surviving event
+      first), raw (no balance repair, no re-sorting). *)
   val events : unit -> event list
 
   (** The Chrome trace: [{"traceEvents": [...], "displayTimeUnit": "ms",
       "otherData": {...}}], every event carrying [name]/[cat]/[ph]/[ts]/
-      [pid]/[tid]. Begin/end balance is repaired (orphaned ends dropped,
+      [pid]/[tid], stably sorted by timestamp (replayed sampler rows merge
+      into place). Begin/end balance is repaired (orphaned ends dropped,
       unclosed begins closed at the final timestamp). *)
   val to_json : unit -> Json.t
 
@@ -230,8 +257,9 @@ end
 
 module Progress : sig
   (** Arm the reporter (records the start time, detects whether
-      [channel] — default [stderr] — is a TTY). *)
-  val start : ?channel:out_channel -> unit -> unit
+      [channel] — default [stderr] — is a TTY; [?tty] overrides the
+      detection, for tests capturing output through a pipe). *)
+  val start : ?channel:out_channel -> ?tty:bool -> unit -> unit
 
   (** Traversal-engine notification at run entry: restarts the elapsed
       clock (and terminates any in-place line), so back-to-back runs in
@@ -263,6 +291,84 @@ module Limits : sig
   val arm : Util.Limits.t -> Util.Limits.t
 end
 
+(** {1 Resource time-series sampling}
+
+    A background domain that periodically snapshots counter values, GC
+    heap statistics and the governor's remaining budgets while a run
+    executes. {!Sampler.stop} installs the series as the run report's
+    ["timeseries"] section (see [docs/OBSERVABILITY.md] for the point
+    schema) and replays it into the trace as Chrome counter rows under
+    [sampler.*] names, so resource curves render on the phase
+    timeline. The CLI wires this to [--sample-interval]. *)
+
+module Sampler : sig
+  type t
+
+  (** 0.05 s. *)
+  val default_interval : float
+
+  (** The counters sampled when [?counters] is omitted: SAT pressure
+      and fixed-point progress. *)
+  val default_counters : string list
+
+  (** Take the [t = 0] sample and spawn the sampling domain. [interval]
+      is seconds between samples (default {!default_interval}, must be
+      positive); [counters] names the registry counters to record;
+      [limits] adds the governor's remaining budgets (deadline seconds,
+      conflict pool, BDD pool, AIG headroom) to every point. *)
+  val start :
+    ?interval:float -> ?counters:string list -> ?limits:Util.Limits.t -> unit -> t
+
+  (** Join the sampling domain, take the closing sample (every series
+      has ≥ 2 points), install the ["timeseries"] report section and
+      replay the trace rows. Call from the domain that owns the trace;
+      idempotent. *)
+  val stop : t -> unit
+end
+
+(** {1 Run-report store}
+
+    Append-only on-disk store of run reports: one directory holding
+    [runs.jsonl] (a compact report per line) and [index.json], a
+    derived meta index that makes listing cheap. The data file is the
+    source of truth — a missing or stale index is rebuilt by scanning
+    it, and a torn tail (crash mid-append) is cut back to the last
+    line that parses. The [cbq_mc report] subcommands are the
+    command-line front-end. *)
+
+module Store : sig
+  type t
+
+  type entry = Store.entry = {
+    id : int;  (** 1-based position in the data file *)
+    offset : int;
+    length : int;
+    stored_at : string;  (** UTC, stamped into the report meta at append *)
+    model : string;
+    engine : string;
+    verdict : string;
+  }
+
+  (** Open (creating the directory if needed), validating the index
+      against the data file and rebuilding it when stale. *)
+  val open_ : string -> t
+
+  val dir : t -> string
+
+  (** All indexed runs, oldest first. *)
+  val entries : t -> entry list
+
+  (** Append a report (stamping [stored_at] into its meta first) and
+      update the index atomically. *)
+  val append : t -> Json.t -> entry
+
+  (** Load one stored report by id. *)
+  val load : t -> int -> (entry * Json.t, string) result
+
+  (** The last [?last] runs matching the meta filters, oldest first. *)
+  val select : ?model:string -> ?engine:string -> ?last:int -> t -> entry list
+end
+
 (** {1 Bench regression detection}
 
     Diff two trees of JSON run reports (as written by
@@ -284,13 +390,30 @@ module Regress : sig
     timing : bool;  (** span seconds: gated by [time_threshold] only *)
   }
 
-  type pair = Regress.pair = { experiment : string; deltas : delta list }
+  type pair = Regress.pair = {
+    experiment : string;
+    deltas : delta list;
+    meta_diff : (string * string * string) list;
+        (** provenance keys whose values disagree: (key, old, new) *)
+  }
 
   type outcome = Regress.outcome = {
     pairs : pair list;
     only_old : string list;
     only_new : string list;
   }
+
+  (** Structural validation: [Ok] for a JSON object with a supported
+      [schema_version] (1 or 2 — v2 only added sections) and a
+      [counters] object; [Error] names the defect in one line. Every
+      report entering {!diff_dirs} or {!trend} passes through this. *)
+  val validate_report : Json.t -> (Json.t, string) result
+
+  (** Provenance keys ([schema_version], [ocaml_version], [word_size],
+      [hostname], [git_commit]) present on both sides with different
+      values, as (key, old, new). Printed by {!pp_outcome} as a diff
+      header. *)
+  val meta_mismatches : Json.t -> Json.t -> (string * string * string) list
 
   (** Changed metrics between two parsed reports (a metric present on one
       side only compares against 0). Sorted by metric name. *)
@@ -310,6 +433,18 @@ module Regress : sig
       tree (reports only present in the new tree are fine — coverage
       grew). *)
   val passes : threshold:float -> time_threshold:float option -> outcome -> bool
+
+  type trend_step = Regress.trend_step = {
+    from_label : string;
+    to_label : string;
+    step_deltas : delta list;
+    step_meta_diff : (string * string * string) list;
+  }
+
+  (** Diff each consecutive pair of a labeled report sequence (oldest
+      first), attributing drift to the step where it appeared. [Error]
+      when any report fails {!validate_report}. *)
+  val trend : (string * Json.t) list -> (trend_step list, string) result
 
   val pp_delta : Format.formatter -> delta -> unit
 

@@ -14,9 +14,15 @@ let is_tty = ref false
 let watch = ref (Util.Stopwatch.start ())
 let last_width = ref 0
 
-let start ?(channel = stderr) () =
+(* [?tty] overrides the isatty detection — tests exercising the
+   in-place rewrite path capture output through a pipe *)
+let start ?(channel = stderr) ?tty () =
   out := channel;
-  is_tty := (try Unix.isatty (Unix.descr_of_out_channel channel) with Unix.Unix_error _ -> false);
+  is_tty :=
+    (match tty with
+    | Some b -> b
+    | None -> (
+      try Unix.isatty (Unix.descr_of_out_channel channel) with Unix.Unix_error _ -> false));
   watch := Util.Stopwatch.start ();
   last_width := 0;
   active := true

@@ -1,16 +1,33 @@
 (* The metric registry: counters, spans, histograms, run metadata and
-   the JSON run report. Process-global and single-threaded, like every
-   manager in this codebase. Handles are plain mutable records so the
-   enabled-path update is a load, an add and a store; the disabled path
-   is one load and a branch. [Obs] re-exports everything here. *)
+   the JSON run report. Process-global and domain-safe: counters are
+   atomics (an [incr] from four domains loses no update), spans and
+   histograms serialize their multi-field updates through a per-handle
+   mutex, and the registration tables and metadata sit behind one
+   registry mutex. The enabled-path counter update is a load, a branch
+   and one lock-free fetch-and-add; the disabled path stays one load
+   and a branch with no allocation. [Obs] re-exports everything here.
+
+   [enabled] is a plain ref on purpose: flipping it mid-flight from
+   another domain is a benign race (a racing update is either counted
+   or not — exactly the semantics of a sampling switch), and keeping it
+   plain keeps the disabled guard a single load. *)
 
 let enabled = ref false
 let set_enabled b = enabled := b
 
-type counter = { c_name : string; mutable c_value : int }
+(* guards the registration tables, the metadata list and the report
+   extras; never held while user code runs *)
+let registry_mu = Mutex.create ()
+
+let locked f =
+  Mutex.lock registry_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mu) f
+
+type counter = { c_name : string; c_cell : int Atomic.t }
 
 type span = {
   s_name : string;
+  s_mu : Mutex.t;
   mutable s_count : int;
   mutable s_total : float;
   mutable s_max : float;
@@ -20,6 +37,7 @@ let hist_buckets = 63
 
 type histogram = {
   h_name : string;
+  h_mu : Mutex.t;
   mutable h_count : int;
   mutable h_sum : int;
   mutable h_min : int;
@@ -33,31 +51,43 @@ let spans : (string, span) Hashtbl.t = Hashtbl.create 16
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
 let metadata : (string * string) list ref = ref []
 
-let counter name =
-  match Hashtbl.find_opt counters name with
-  | Some c -> c
-  | None ->
-    let c = { c_name = name; c_value = 0 } in
-    Hashtbl.replace counters name c;
-    c
+(* the sampler installs its "timeseries" report section here at stop;
+   reset clears it with everything else *)
+let timeseries_section : Json.t option ref = ref None
+let set_timeseries ts = locked (fun () -> timeseries_section := ts)
 
-let incr c = if !enabled then c.c_value <- c.c_value + 1
-let add c n = if !enabled then c.c_value <- c.c_value + n
-let value c = c.c_value
-let value_of name = match Hashtbl.find_opt counters name with Some c -> c.c_value | None -> 0
+let counter name =
+  locked (fun () ->
+      match Hashtbl.find_opt counters name with
+      | Some c -> c
+      | None ->
+        let c = { c_name = name; c_cell = Atomic.make 0 } in
+        Hashtbl.replace counters name c;
+        c)
+
+let incr c = if !enabled then Atomic.incr c.c_cell
+let add c n = if !enabled then ignore (Atomic.fetch_and_add c.c_cell n)
+let value c = Atomic.get c.c_cell
+
+let value_of name =
+  locked (fun () ->
+      match Hashtbl.find_opt counters name with Some c -> Atomic.get c.c_cell | None -> 0)
 
 let span name =
-  match Hashtbl.find_opt spans name with
-  | Some s -> s
-  | None ->
-    let s = { s_name = name; s_count = 0; s_total = 0.0; s_max = 0.0 } in
-    Hashtbl.replace spans name s;
-    s
+  locked (fun () ->
+      match Hashtbl.find_opt spans name with
+      | Some s -> s
+      | None ->
+        let s = { s_name = name; s_mu = Mutex.create (); s_count = 0; s_total = 0.0; s_max = 0.0 } in
+        Hashtbl.replace spans name s;
+        s)
 
 let record_span s dt =
+  Mutex.lock s.s_mu;
   s.s_count <- s.s_count + 1;
   s.s_total <- s.s_total +. dt;
-  if dt > s.s_max then s.s_max <- dt
+  if dt > s.s_max then s.s_max <- dt;
+  Mutex.unlock s.s_mu
 
 let add_seconds s dt = if !enabled then record_span s dt
 
@@ -72,21 +102,23 @@ let span_count s = s.s_count
 let span_seconds s = s.s_total
 
 let histogram name =
-  match Hashtbl.find_opt histograms name with
-  | Some h -> h
-  | None ->
-    let h =
-      {
-        h_name = name;
-        h_count = 0;
-        h_sum = 0;
-        h_min = max_int;
-        h_max = 0;
-        h_bucket = Array.make (hist_buckets + 1) 0;
-      }
-    in
-    Hashtbl.replace histograms name h;
-    h
+  locked (fun () ->
+      match Hashtbl.find_opt histograms name with
+      | Some h -> h
+      | None ->
+        let h =
+          {
+            h_name = name;
+            h_mu = Mutex.create ();
+            h_count = 0;
+            h_sum = 0;
+            h_min = max_int;
+            h_max = 0;
+            h_bucket = Array.make (hist_buckets + 1) 0;
+          }
+        in
+        Hashtbl.replace histograms name h;
+        h)
 
 let bit_length v =
   let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in
@@ -95,47 +127,179 @@ let bit_length v =
 let observe h v =
   if !enabled then begin
     let v = if v < 0 then 0 else v in
+    Mutex.lock h.h_mu;
     h.h_count <- h.h_count + 1;
     h.h_sum <- h.h_sum + v;
     if v < h.h_min then h.h_min <- v;
     if v > h.h_max then h.h_max <- v;
     let i = bit_length v in
     let i = if i > hist_buckets then hist_buckets else i in
-    h.h_bucket.(i) <- h.h_bucket.(i) + 1
+    h.h_bucket.(i) <- h.h_bucket.(i) + 1;
+    Mutex.unlock h.h_mu
   end
 
 let hist_count h = h.h_count
 let hist_sum h = h.h_sum
 
-let meta key v = metadata := (key, v) :: List.remove_assoc key !metadata
+let meta key v = locked (fun () -> metadata := (key, v) :: List.remove_assoc key !metadata)
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters;
-  Hashtbl.iter
-    (fun _ s ->
+  (* handle snapshots under the registry mutex, field resets under each
+     handle's own mutex: reset never holds both at once *)
+  let cs, ss, hs =
+    locked (fun () ->
+        metadata := [];
+        timeseries_section := None;
+        ( Hashtbl.fold (fun _ c acc -> c :: acc) counters [],
+          Hashtbl.fold (fun _ s acc -> s :: acc) spans [],
+          Hashtbl.fold (fun _ h acc -> h :: acc) histograms [] ))
+  in
+  List.iter (fun c -> Atomic.set c.c_cell 0) cs;
+  List.iter
+    (fun s ->
+      Mutex.lock s.s_mu;
       s.s_count <- 0;
       s.s_total <- 0.0;
-      s.s_max <- 0.0)
-    spans;
-  Hashtbl.iter
-    (fun _ h ->
+      s.s_max <- 0.0;
+      Mutex.unlock s.s_mu)
+    ss;
+  List.iter
+    (fun h ->
+      Mutex.lock h.h_mu;
       h.h_count <- 0;
       h.h_sum <- 0;
       h.h_min <- max_int;
       h.h_max <- 0;
-      Array.fill h.h_bucket 0 (Array.length h.h_bucket) 0)
-    histograms;
-  metadata := []
+      Array.fill h.h_bucket 0 (Array.length h.h_bucket) 0;
+      Mutex.unlock h.h_mu)
+    hs
 
-let sorted_fields tbl keep entry =
-  Hashtbl.fold (fun name m acc -> if keep m then (name, entry m) :: acc else acc) tbl []
+(* ---------- provenance ----------
+
+   Stamped into every report's meta so stored runs are comparable
+   across machines (the regression differ prints mismatches in its
+   header). Computed once per process; explicit [meta] pairs of the
+   same name win. *)
+
+let read_first_line path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> String.trim (input_line ic))
+
+(* resolve HEAD by hand (no subprocess): walk up from the cwd to the
+   first .git, follow one level of symbolic ref, fall back to
+   packed-refs. Any failure just omits the key. *)
+let git_commit () =
+  let rec find_git dir depth =
+    if depth > 16 then None
+    else
+      let candidate = Filename.concat dir ".git" in
+      if Sys.file_exists candidate then Some candidate
+      else
+        let parent = Filename.dirname dir in
+        if parent = dir then None else find_git parent (depth + 1)
+  in
+  try
+    match find_git (Sys.getcwd ()) 0 with
+    | None -> None
+    | Some dotgit ->
+      let gitdir =
+        if Sys.is_directory dotgit then dotgit
+        else
+          (* worktree: ".git" is a file containing "gitdir: PATH" *)
+          let line = read_first_line dotgit in
+          let prefix = "gitdir: " in
+          if String.length line > String.length prefix then
+            String.sub line (String.length prefix) (String.length line - String.length prefix)
+          else raise Exit
+      in
+      let head = read_first_line (Filename.concat gitdir "HEAD") in
+      let ref_prefix = "ref: " in
+      if String.length head >= 40 && not (String.length head > 5 && String.sub head 0 5 = "ref: ")
+      then Some (String.sub head 0 40)
+      else begin
+        let refname =
+          String.sub head (String.length ref_prefix) (String.length head - String.length ref_prefix)
+        in
+        let ref_file = Filename.concat gitdir refname in
+        if Sys.file_exists ref_file then Some (read_first_line ref_file)
+        else
+          (* packed refs: lines of "<hash> <refname>" *)
+          let packed = Filename.concat gitdir "packed-refs" in
+          if not (Sys.file_exists packed) then None
+          else begin
+            let ic = open_in packed in
+            Fun.protect
+              ~finally:(fun () -> close_in ic)
+              (fun () ->
+                let found = ref None in
+                (try
+                   while !found = None do
+                     let line = input_line ic in
+                     if
+                       String.length line > 41
+                       && line.[0] <> '#'
+                       && String.sub line 41 (String.length line - 41) = refname
+                     then found := Some (String.sub line 0 40)
+                   done
+                 with End_of_file -> ());
+                !found)
+          end
+      end
+  with _ -> None
+
+let provenance =
+  lazy
+    (let base =
+       [
+         ("ocaml_version", Sys.ocaml_version);
+         ("word_size", string_of_int Sys.word_size);
+         ("hostname", (try Unix.gethostname () with _ -> "unknown"));
+       ]
+     in
+     match git_commit () with
+     | Some hash -> base @ [ ("git_commit", hash) ]
+     | None -> base)
+
+let sorted_fields pairs keep entry =
+  List.filter_map (fun (name, m) -> if keep m then Some (name, entry m) else None) pairs
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let bucket_bounds i = if i = 0 then (0, 0) else (1 lsl (i - 1), (1 lsl i) - 1)
 
+(* consistent snapshots of the multi-field accumulators *)
+type span_snap = { sn_count : int; sn_total : float; sn_max : float }
+
+type hist_snap = {
+  hn_count : int;
+  hn_sum : int;
+  hn_min : int;
+  hn_max : int;
+  hn_bucket : int array;
+}
+
+let snap_span s =
+  Mutex.lock s.s_mu;
+  let snap = { sn_count = s.s_count; sn_total = s.s_total; sn_max = s.s_max } in
+  Mutex.unlock s.s_mu;
+  snap
+
+let snap_hist h =
+  Mutex.lock h.h_mu;
+  let snap =
+    {
+      hn_count = h.h_count;
+      hn_sum = h.h_sum;
+      hn_min = h.h_min;
+      hn_max = h.h_max;
+      hn_bucket = Array.copy h.h_bucket;
+    }
+  in
+  Mutex.unlock h.h_mu;
+  snap
+
 let hist_json h =
   let buckets =
-    Array.to_list h.h_bucket
+    Array.to_list h.hn_bucket
     |> List.mapi (fun i count -> (i, count))
     |> List.filter (fun (_, count) -> count > 0)
     |> List.map (fun (i, count) ->
@@ -144,35 +308,54 @@ let hist_json h =
   in
   Json.Obj
     [
-      ("count", Json.Int h.h_count);
-      ("sum", Json.Int h.h_sum);
-      ("min", Json.Int (if h.h_count = 0 then 0 else h.h_min));
-      ("max", Json.Int h.h_max);
+      ("count", Json.Int h.hn_count);
+      ("sum", Json.Int h.hn_sum);
+      ("min", Json.Int (if h.hn_count = 0 then 0 else h.hn_min));
+      ("max", Json.Int h.hn_max);
       ("buckets", Json.List buckets);
     ]
 
 let span_json s =
   Json.Obj
     [
-      ("count", Json.Int s.s_count);
-      ("seconds", Json.Float s.s_total);
-      ("max_seconds", Json.Float s.s_max);
+      ("count", Json.Int s.sn_count);
+      ("seconds", Json.Float s.sn_total);
+      ("max_seconds", Json.Float s.sn_max);
     ]
 
+(* The report schema version. 2 added the provenance meta keys and the
+   optional "timeseries" section; every v1 section is unchanged, so
+   consumers (and the regression differ) treat 1 and 2 as compatible. *)
+let schema_version = 2
+
 let report () =
-  Json.Obj
+  let counter_pairs, span_snaps, hist_snaps, meta_pairs, ts =
+    locked (fun () ->
+        ( Hashtbl.fold (fun name c acc -> (name, Atomic.get c.c_cell) :: acc) counters [],
+          Hashtbl.fold (fun name s acc -> (name, snap_span s) :: acc) spans [],
+          Hashtbl.fold (fun name h acc -> (name, snap_hist h) :: acc) histograms [],
+          !metadata,
+          !timeseries_section ))
+  in
+  let meta_pairs =
+    List.fold_left
+      (fun acc (k, v) -> if List.mem_assoc k acc then acc else (k, v) :: acc)
+      meta_pairs (Lazy.force provenance)
+  in
+  let base =
     [
-      ("schema_version", Json.Int 1);
+      ("schema_version", Json.Int schema_version);
       ( "meta",
-        Json.Obj
-          (List.sort compare (List.map (fun (k, v) -> (k, Json.String v)) !metadata)) );
+        Json.Obj (List.sort compare (List.map (fun (k, v) -> (k, Json.String v)) meta_pairs)) );
       (* every registered counter, zero or not: consumers diff reports and
          rely on e.g. sweep.merge.sat being present even when the SAT
          engine never fired on an easy model *)
-      ("counters", Json.Obj (sorted_fields counters (fun _ -> true) (fun c -> Json.Int c.c_value)));
-      ("spans", Json.Obj (sorted_fields spans (fun s -> s.s_count <> 0) span_json));
-      ("histograms", Json.Obj (sorted_fields histograms (fun h -> h.h_count <> 0) hist_json));
+      ("counters", Json.Obj (sorted_fields counter_pairs (fun _ -> true) (fun v -> Json.Int v)));
+      ("spans", Json.Obj (sorted_fields span_snaps (fun s -> s.sn_count <> 0) span_json));
+      ("histograms", Json.Obj (sorted_fields hist_snaps (fun h -> h.hn_count <> 0) hist_json));
     ]
+  in
+  Json.Obj (match ts with None -> base | Some t -> base @ [ ("timeseries", t) ])
 
 let write_report path =
   (* a report path under a directory that does not exist yet is routine
@@ -186,6 +369,13 @@ let write_report path =
       Format.fprintf ppf "%a@." Json.pp (report ()))
 
 let pp_summary ppf () =
+  let counter_pairs, span_snaps, hist_snaps, meta_pairs =
+    locked (fun () ->
+        ( Hashtbl.fold (fun name c acc -> (name, Atomic.get c.c_cell) :: acc) counters [],
+          Hashtbl.fold (fun name s acc -> (name, snap_span s) :: acc) spans [],
+          Hashtbl.fold (fun name h acc -> (name, snap_hist h) :: acc) histograms [],
+          !metadata ))
+  in
   let group name = match String.index_opt name '.' with Some i -> String.sub name 0 i | None -> name in
   let groups = Hashtbl.create 8 in
   let push name line =
@@ -193,23 +383,23 @@ let pp_summary ppf () =
     let existing = Option.value (Hashtbl.find_opt groups g) ~default:[] in
     Hashtbl.replace groups g (line :: existing)
   in
-  Hashtbl.iter
-    (fun name c -> if c.c_value <> 0 then push name (Printf.sprintf "%-36s %12d" name c.c_value))
-    counters;
-  Hashtbl.iter
-    (fun name s ->
-      if s.s_count <> 0 then
+  List.iter
+    (fun (name, v) -> if v <> 0 then push name (Printf.sprintf "%-36s %12d" name v))
+    counter_pairs;
+  List.iter
+    (fun (name, s) ->
+      if s.sn_count <> 0 then
         push name
-          (Printf.sprintf "%-36s %12d calls  %9.3fs total  %.3fs max" name s.s_count s.s_total
-             s.s_max))
-    spans;
-  Hashtbl.iter
-    (fun name h ->
-      if h.h_count <> 0 then
+          (Printf.sprintf "%-36s %12d calls  %9.3fs total  %.3fs max" name s.sn_count s.sn_total
+             s.sn_max))
+    span_snaps;
+  List.iter
+    (fun (name, h) ->
+      if h.hn_count <> 0 then
         push name
-          (Printf.sprintf "%-36s %12d obs    sum=%d min=%d max=%d" name h.h_count h.h_sum h.h_min
-             h.h_max))
-    histograms;
+          (Printf.sprintf "%-36s %12d obs    sum=%d min=%d max=%d" name h.hn_count h.hn_sum
+             h.hn_min h.hn_max))
+    hist_snaps;
   let names = Hashtbl.fold (fun g _ acc -> g :: acc) groups [] |> List.sort compare in
   Format.fprintf ppf "run telemetry:@.";
   List.iter
@@ -217,7 +407,7 @@ let pp_summary ppf () =
       Format.fprintf ppf "  [%s]@." g;
       List.iter (Format.fprintf ppf "    %s@.") (List.sort compare (Hashtbl.find groups g)))
     names;
-  match !metadata with
+  match meta_pairs with
   | [] -> ()
   | kvs ->
     Format.fprintf ppf "  [meta]@.";

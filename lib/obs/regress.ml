@@ -19,13 +19,62 @@ type delta = {
   timing : bool; (* true for span seconds: gated by the time threshold *)
 }
 
-type pair = { experiment : string; deltas : delta list }
+type pair = {
+  experiment : string;
+  deltas : delta list;
+  meta_diff : (string * string * string) list; (* key, old, new *)
+}
 
 type outcome = {
   pairs : pair list;
   only_old : string list; (* experiments present only in the old tree *)
   only_new : string list; (* experiments present only in the new tree *)
 }
+
+(* Schema window: v2 added provenance meta and the timeseries section
+   without touching any v1 section, so both diff cleanly — CI compares
+   checked-in v1 baselines against fresh v2 reports across the bump.
+   Anything else (missing version, other versions, missing counters) is
+   a malformed report and must fail structurally, not with a trace. *)
+let supported_schemas = [ 1; 2 ]
+
+let validate_report json =
+  match json with
+  | Json.Obj _ -> (
+    match Json.member "schema_version" json with
+    | Some (Json.Int v) when List.mem v supported_schemas -> (
+      match Json.member "counters" json with
+      | Some (Json.Obj _) -> Ok json
+      | Some _ -> Error "\"counters\" is not an object"
+      | None -> Error "missing \"counters\" section")
+    | Some (Json.Int v) -> Error (Printf.sprintf "unsupported schema_version %d (supported: 1-2)" v)
+    | Some _ -> Error "\"schema_version\" is not an integer"
+    | None -> Error "missing \"schema_version\"")
+  | _ -> Error "report is not a JSON object"
+
+(* The provenance header: keys whose disagreement makes a diff
+   suspect (different machine, different compiler, different schema).
+   Only keys present on both sides count — pre-v2 reports carry no
+   provenance and should not drown the diff in noise. *)
+let provenance_keys = [ "schema_version"; "ocaml_version"; "word_size"; "hostname"; "git_commit" ]
+
+let header_value json = function
+  | "schema_version" -> (
+    match Json.member "schema_version" json with
+    | Some (Json.Int i) -> Some (string_of_int i)
+    | _ -> None)
+  | key -> (
+    match Option.bind (Json.member "meta" json) (Json.member key) with
+    | Some (Json.String s) -> Some s
+    | _ -> None)
+
+let meta_mismatches old_json new_json =
+  List.filter_map
+    (fun key ->
+      match (header_value old_json key, header_value new_json key) with
+      | Some o, Some n when o <> n -> Some (key, o, n)
+      | _ -> None)
+    provenance_keys
 
 let rel_delta o n =
   if o = n then 0.0
@@ -98,18 +147,24 @@ let diff_dirs ~old_dir ~new_dir =
   let old_files = json_files old_dir and new_files = json_files new_dir in
   let load dir f =
     match Json.of_file (Filename.concat dir f) with
-    | Ok json -> json
-    | Error msg -> raise (Sys_error (Printf.sprintf "%s/%s: %s" dir f msg))
+    | Ok json -> (
+      match validate_report json with
+      | Ok json -> json
+      | Error msg -> raise (Sys_error (Printf.sprintf "%s/%s: invalid report: %s" dir f msg)))
+    | Error msg -> raise (Sys_error (Printf.sprintf "%s/%s: unparsable report: %s" dir f msg))
   in
   let pairs =
     List.filter_map
       (fun f ->
-        if List.mem f new_files then
+        if List.mem f new_files then begin
+          let o = load old_dir f and n = load new_dir f in
           Some
             {
               experiment = Filename.remove_extension f;
-              deltas = compare_reports (load old_dir f) (load new_dir f);
+              deltas = compare_reports o n;
+              meta_diff = meta_mismatches o n;
             }
+        end
         else None)
       old_files
   in
@@ -151,6 +206,11 @@ let pp_delta ppf d =
     (if d.rel = infinity then "(new)" else Printf.sprintf (Scanf.format_from_string pct "%f") (d.rel *. 100.0))
 
 let pp_outcome ~threshold ~time_threshold ppf outcome =
+  (* provenance header: runs from different machines/compilers still
+     diff, but the reader should know the ground shifted *)
+  List.iter
+    (fun (key, o, n) -> Format.fprintf ppf "meta: %s differs: %s -> %s@." key o n)
+    (List.sort_uniq compare (List.concat_map (fun p -> p.meta_diff) outcome.pairs));
   List.iter
     (fun p ->
       match p.deltas with
@@ -166,6 +226,45 @@ let pp_outcome ~threshold ~time_threshold ppf outcome =
     outcome.pairs;
   List.iter (Format.fprintf ppf "missing from new tree: %s@.") outcome.only_old;
   List.iter (Format.fprintf ppf "only in new tree: %s@.") outcome.only_new
+
+(* ---------- cross-run trend ----------
+
+   The store's `report trend` walks the last N runs of one
+   model/engine family and diffs each consecutive pair, so a slowdown
+   that crept in three runs ago is attributed to the step where it
+   appeared rather than to the whole window. *)
+
+type trend_step = {
+  from_label : string;
+  to_label : string;
+  step_deltas : delta list;
+  step_meta_diff : (string * string * string) list;
+}
+
+let trend labeled =
+  let invalid =
+    List.find_map
+      (fun (label, json) ->
+        match validate_report json with
+        | Ok _ -> None
+        | Error msg -> Some (Printf.sprintf "%s: invalid report: %s" label msg))
+      labeled
+  in
+  match invalid with
+  | Some msg -> Error msg
+  | None ->
+    let rec steps = function
+      | (l1, j1) :: ((l2, j2) :: _ as rest) ->
+        {
+          from_label = l1;
+          to_label = l2;
+          step_deltas = compare_reports j1 j2;
+          step_meta_diff = meta_mismatches j1 j2;
+        }
+        :: steps rest
+      | _ -> []
+    in
+    Ok (steps labeled)
 
 (* ---------- the cbq-bench-regress entry point ----------
 

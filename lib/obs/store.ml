@@ -1,0 +1,253 @@
+(* Append-only on-disk run-report store: one directory holding
+   [runs.jsonl] (one compact report per line, append-only) plus
+   [index.json], a derived meta index (id, byte range, model, engine,
+   verdict, stored_at per run) that makes [cbq_mc report list/trend]
+   cheap — listing never parses report bodies.
+
+   The data file is the source of truth. The index records the data
+   length it was built against; on open, a stale or missing index is
+   rebuilt by scanning the JSONL. A torn tail (the process died
+   mid-append, or the file was truncated) is repaired during the
+   rebuild: the file is cut back to the last line that parses, and
+   everything before it is re-indexed. Index writes are atomic
+   (tmp + rename), so a crash never leaves a half-written index. *)
+
+type entry = {
+  id : int; (* 1-based position in the data file *)
+  offset : int;
+  length : int; (* line length, newline excluded *)
+  stored_at : string;
+  model : string;
+  engine : string;
+  verdict : string;
+}
+
+type t = {
+  dir : string;
+  data_path : string;
+  index_path : string;
+  mutable entries : entry list; (* oldest first *)
+  mutable data_length : int;
+}
+
+let index_version = 1
+
+let data_file = "runs.jsonl"
+let index_file = "index.json"
+
+let dir t = t.dir
+let entries t = t.entries
+
+let meta_string report key =
+  match Option.bind (Json.member "meta" report) (Json.member key) with
+  | Some (Json.String s) -> s
+  | _ -> ""
+
+let entry_of_report ~id ~offset ~length report =
+  {
+    id;
+    offset;
+    length;
+    stored_at = meta_string report "stored_at";
+    model = meta_string report "model";
+    engine = meta_string report "engine";
+    verdict = meta_string report "verdict";
+  }
+
+(* ---------- index (de)serialization ---------- *)
+
+let entry_json e =
+  Json.Obj
+    [
+      ("id", Json.Int e.id);
+      ("offset", Json.Int e.offset);
+      ("length", Json.Int e.length);
+      ("stored_at", Json.String e.stored_at);
+      ("model", Json.String e.model);
+      ("engine", Json.String e.engine);
+      ("verdict", Json.String e.verdict);
+    ]
+
+let index_json t =
+  Json.Obj
+    [
+      ("store_version", Json.Int index_version);
+      ("data_length", Json.Int t.data_length);
+      ("entries", Json.List (List.map entry_json t.entries));
+    ]
+
+let write_index t =
+  let tmp = t.index_path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.to_string (index_json t)));
+  Sys.rename tmp t.index_path
+
+let entry_of_json j =
+  let int key = match Json.member key j with Some (Json.Int i) -> Some i | _ -> None in
+  let str key = match Json.member key j with Some (Json.String s) -> s | _ -> "" in
+  match (int "id", int "offset", int "length") with
+  | Some id, Some offset, Some length ->
+    Some
+      {
+        id;
+        offset;
+        length;
+        stored_at = str "stored_at";
+        model = str "model";
+        engine = str "engine";
+        verdict = str "verdict";
+      }
+  | _ -> None
+
+let read_index t =
+  if not (Sys.file_exists t.index_path) then None
+  else
+    match Json.of_file t.index_path with
+    | Error _ -> None
+    | Ok j -> (
+      match (Json.member "store_version" j, Json.member "data_length" j, Json.member "entries" j)
+      with
+      | Some (Json.Int v), Some (Json.Int len), Some (Json.List es) when v = index_version -> (
+        let entries = List.map entry_of_json es in
+        if List.exists Option.is_none entries then None
+        else
+          match List.filter_map (fun e -> e) entries with
+          | es -> Some (len, es))
+      | _ -> None)
+
+(* ---------- rebuild from the data file ---------- *)
+
+let data_size t = if Sys.file_exists t.data_path then (Unix.stat t.data_path).Unix.st_size else 0
+
+(* Scan the JSONL, indexing every line that parses. Stops at the first
+   line that does not parse or is not newline-terminated (a torn
+   append), truncates the file back to that point, and returns the
+   entries before it. *)
+let rebuild t =
+  let entries = ref [] in
+  let good_end = ref 0 in
+  if Sys.file_exists t.data_path then begin
+    let ic = open_in_bin t.data_path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let file_len = in_channel_length ic in
+        let id = ref 1 in
+        let stop = ref false in
+        while not !stop do
+          let offset = pos_in ic in
+          match input_line ic with
+          | exception End_of_file -> stop := true
+          | line ->
+            let terminated = pos_in ic = offset + String.length line + 1 in
+            let complete = terminated || pos_in ic < file_len in
+            if not complete then stop := true (* torn tail: no final newline *)
+            else (
+              match Json.of_string line with
+              | Error _ -> stop := true
+              | Ok report ->
+                entries :=
+                  entry_of_report ~id:!id ~offset ~length:(String.length line) report
+                  :: !entries;
+                incr id;
+                good_end := offset + String.length line + 1)
+        done)
+  end;
+  if data_size t > !good_end then Unix.truncate t.data_path !good_end;
+  t.entries <- List.rev !entries;
+  t.data_length <- !good_end;
+  write_index t
+
+let open_ dir =
+  Util.Fs.mkdirs dir;
+  let t =
+    {
+      dir;
+      data_path = Filename.concat dir data_file;
+      index_path = Filename.concat dir index_file;
+      entries = [];
+      data_length = 0;
+    }
+  in
+  (match read_index t with
+  | Some (len, entries) when len = data_size t ->
+    t.entries <- entries;
+    t.data_length <- len
+  | Some _ | None -> rebuild t);
+  t
+
+(* ---------- append / load / select ---------- *)
+
+let timestamp () =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+    tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+
+(* stamp [stored_at] into the report's meta before writing, so a later
+   index rebuild recovers the timestamp from the data file alone *)
+let stamp_stored_at report stamp =
+  let set_meta fields =
+    let meta =
+      match List.assoc_opt "meta" fields with
+      | Some (Json.Obj kvs) ->
+        Json.Obj (List.sort compare (("stored_at", Json.String stamp) :: List.remove_assoc "stored_at" kvs))
+      | _ -> Json.Obj [ ("stored_at", Json.String stamp) ]
+    in
+    List.map (fun (k, v) -> if k = "meta" then (k, meta) else (k, v)) fields
+    |> fun fs -> if List.mem_assoc "meta" fs then fs else ("meta", meta) :: fs
+  in
+  match report with Json.Obj fields -> Json.Obj (set_meta fields) | other -> other
+
+let append t report =
+  let report = stamp_stored_at report (timestamp ()) in
+  let line = Json.to_string report in
+  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 t.data_path in
+  let offset =
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        let offset = out_channel_length oc in
+        output_string oc line;
+        output_char oc '\n';
+        offset)
+  in
+  let id = (match t.entries with [] -> 0 | es -> (List.nth es (List.length es - 1)).id) + 1 in
+  let entry = entry_of_report ~id ~offset ~length:(String.length line) report in
+  t.entries <- t.entries @ [ entry ];
+  t.data_length <- offset + String.length line + 1;
+  write_index t;
+  entry
+
+let find t id = List.find_opt (fun e -> e.id = id) t.entries
+
+let load t id =
+  match find t id with
+  | None -> Error (Printf.sprintf "store: no run with id %d" id)
+  | Some e -> (
+    let ic = open_in_bin t.data_path in
+    let line =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          seek_in ic e.offset;
+          really_input_string ic e.length)
+    in
+    match Json.of_string line with
+    | Ok report -> Ok (e, report)
+    | Error msg -> Error (Printf.sprintf "store: run %d is unreadable (%s)" id msg))
+
+(* the last [last] stored runs matching the filters, oldest first *)
+let select ?model ?engine ?last t =
+  let matches e =
+    (match model with None -> true | Some m -> e.model = m)
+    && match engine with None -> true | Some eng -> e.engine = eng
+  in
+  let hits = List.filter matches t.entries in
+  match last with
+  | None -> hits
+  | Some n when n <= 0 -> []
+  | Some n ->
+    let len = List.length hits in
+    if len <= n then hits else List.filteri (fun i _ -> i >= len - n) hits

@@ -90,22 +90,30 @@ let grow () =
 (* [Util.Stopwatch] is monotonic (CLOCK_MONOTONIC), so elapsed times
    are non-decreasing by construction — no clamping needed. [last_ts]
    is kept for closing unbalanced begins at export time. *)
+let timestamp_us () = Util.Stopwatch.elapsed !epoch *. 1e6
+
 let now_us () =
-  let t = Util.Stopwatch.elapsed !epoch *. 1e6 in
+  let t = timestamp_us () in
   last_ts := t;
   t
 
-(* the unguarded recorder: every public entry point checks [enabled]
-   before calling, keeping the disabled path allocation-free *)
-let record name ph key v =
+(* the unguarded recorder with an explicit timestamp: the resource
+   sampler replays its time-series as counter rows after the fact, at
+   the timestamps the samples were actually taken *)
+let record_ts name ph key v ts =
   if !total >= !capacity && !capacity < !size_limit then grow ();
   let i = !total mod !size_limit in
   !names.(i) <- name;
   Bytes.set !phs i ph;
-  !tss.(i) <- now_us ();
+  !tss.(i) <- ts;
+  if ts > !last_ts then last_ts := ts;
   !arg_keys.(i) <- key;
   !arg_vals.(i) <- v;
   total := !total + 1
+
+(* the unguarded recorder: every public entry point checks [enabled]
+   before calling, keeping the disabled path allocation-free *)
+let record name ph key v = record_ts name ph key v (now_us ())
 
 let begin_ name = if !enabled then record name 'B' "" 0
 let begin_args name key v = if !enabled then record name 'B' key v
@@ -114,6 +122,7 @@ let end_args name key v = if !enabled then record name 'E' key v
 let instant name = if !enabled then record name 'i' "" 0
 let instant_args name key v = if !enabled then record name 'i' key v
 let sample name v = if !enabled then record name 'C' "value" v
+let sample_at ts name v = if !enabled then record_ts name 'C' "value" v ts
 
 let with_phase name f =
   if not !enabled then f ()
@@ -199,10 +208,18 @@ let balanced_events () =
   in
   keep @ closers
 
+(* Replayed sampler rows ([sample_at]) carry capture-time timestamps
+   but sit at the end of the ring, so the buffer is not globally
+   ts-ordered. Viewers sort on load, but the exported JSON promises
+   non-decreasing timestamps — restore the order here. The sort is
+   stable: begin/end pairs at equal timestamps keep their nesting. *)
 let to_json () =
+  let evs =
+    List.stable_sort (fun a b -> compare a.ev_ts b.ev_ts) (balanced_events ())
+  in
   Json.Obj
     [
-      ("traceEvents", Json.List (List.map event_json (balanced_events ())));
+      ("traceEvents", Json.List (List.map event_json evs));
       ("displayTimeUnit", Json.String "ms");
       ( "otherData",
         Json.Obj

@@ -1,14 +1,19 @@
 type resource = Deadline | Conflicts | Aig_nodes | Bdd_nodes
 
+(* Domain-safe: the pools are atomics drained with fetch-and-add, the
+   sticky trip is a CAS whose winner fires the notify hook exactly once.
+   Budget reads clamp at 0 — a pool that several domains drain
+   concurrently may go transiently negative inside the atomic. *)
 type t = {
   started : Stopwatch.t;
   deadline : float option; (* absolute monotonic time *)
-  mutable conflicts_left : int;
+  conflicts_left : int Atomic.t;
   conflicts_limited : bool;
   max_aig_nodes : int option;
-  mutable bdd_left : int;
+  aig_seen : int Atomic.t; (* high-water node count from check_aig_nodes *)
+  bdd_left : int Atomic.t;
   bdd_limited : bool;
-  mutable tripped : resource option; (* sticky: the first fatal trip *)
+  tripped : resource option Atomic.t; (* sticky: the first fatal trip *)
   mutable notify : resource -> unit;
 }
 
@@ -17,12 +22,13 @@ let make ?timeout ?max_conflicts ?max_aig_nodes ?max_bdd_nodes () =
   {
     started;
     deadline = Option.map (fun s -> Stopwatch.now () +. s) timeout;
-    conflicts_left = Option.value max_conflicts ~default:max_int;
+    conflicts_left = Atomic.make (Option.value max_conflicts ~default:max_int);
     conflicts_limited = max_conflicts <> None;
     max_aig_nodes;
-    bdd_left = Option.value max_bdd_nodes ~default:max_int;
+    aig_seen = Atomic.make 0;
+    bdd_left = Atomic.make (Option.value max_bdd_nodes ~default:max_int);
     bdd_limited = max_bdd_nodes <> None;
-    tripped = None;
+    tripped = Atomic.make None;
     notify = ignore;
   }
 
@@ -32,7 +38,7 @@ let create = make
 let is_limited t =
   t.deadline <> None || t.conflicts_limited || t.max_aig_nodes <> None || t.bdd_limited
 
-let exhausted t = t.tripped
+let exhausted t = Atomic.get t.tripped
 
 let resource_name = function
   | Deadline -> "deadline"
@@ -43,42 +49,47 @@ let resource_name = function
 let pp_resource ppf r = Format.pp_print_string ppf (resource_name r)
 
 let trip t r =
-  match t.tripped with
-  | Some _ -> ()
-  | None ->
-    t.tripped <- Some r;
+  if Atomic.get t.tripped = None && Atomic.compare_and_set t.tripped None (Some r) then
     t.notify r
 
 let check t =
-  (match t.tripped, t.deadline with
+  (match (Atomic.get t.tripped, t.deadline) with
   | None, Some d -> if Stopwatch.now () >= d then trip t Deadline
   | (Some _ | None), _ -> ());
-  t.tripped
+  Atomic.get t.tripped
+
+(* remember the largest node count ever checked, so the sampler can
+   report headroom without reaching into the AIG manager *)
+let rec note_aig t n =
+  let seen = Atomic.get t.aig_seen in
+  if n > seen && not (Atomic.compare_and_set t.aig_seen seen n) then note_aig t n
 
 let check_aig_nodes t n =
-  (match t.tripped, t.max_aig_nodes with
+  note_aig t n;
+  (match (Atomic.get t.tripped, t.max_aig_nodes) with
   | None, Some ceiling -> if n > ceiling then trip t Aig_nodes
   | (Some _ | None), _ -> ());
   check t
 
-let conflict_budget t = if t.conflicts_limited then Some (max 0 t.conflicts_left) else None
+let conflict_budget t =
+  if t.conflicts_limited then Some (max 0 (Atomic.get t.conflicts_left)) else None
 
 let charge_conflicts t n =
   if t.conflicts_limited && n > 0 then begin
-    t.conflicts_left <- t.conflicts_left - n;
-    if t.conflicts_left <= 0 then begin
-      t.conflicts_left <- 0;
-      trip t Conflicts
-    end
+    let before = Atomic.fetch_and_add t.conflicts_left (-n) in
+    if before - n <= 0 then trip t Conflicts
   end
 
-let bdd_budget t = if t.bdd_limited then Some (max 0 t.bdd_left) else None
+let bdd_budget t = if t.bdd_limited then Some (max 0 (Atomic.get t.bdd_left)) else None
 
 let charge_bdd_nodes t n =
-  if t.bdd_limited && n > 0 then t.bdd_left <- max 0 (t.bdd_left - n)
+  if t.bdd_limited && n > 0 then ignore (Atomic.fetch_and_add t.bdd_left (-n))
 
 let remaining_time t =
   Option.map (fun d -> Float.max 0. (d -. Stopwatch.now ())) t.deadline
+
+let aig_headroom t =
+  Option.map (fun ceiling -> max 0 (ceiling - Atomic.get t.aig_seen)) t.max_aig_nodes
 
 let elapsed t = Stopwatch.elapsed t.started
 let set_notify t f = t.notify <- f

@@ -21,9 +21,16 @@
     representation is BDD promote it to a fatal trip themselves via
     {!trip}).
 
-    Checks are cheap: {!exhausted} is a field read; {!check} adds one
-    monotonic clock read. All charging is single-threaded, like every
-    manager in this codebase. *)
+    Checks are cheap: {!exhausted} is an atomic load; {!check} adds one
+    monotonic clock read.
+
+    {b Domain safety.} The governor is safe to share across OCaml 5
+    domains: the conflict and BDD pools are atomics drained with
+    fetch-and-add, the sticky trip is a compare-and-set whose winner
+    fires the notify hook exactly once, and budget reads clamp at 0 (a
+    pool drained concurrently may go transiently negative inside the
+    atomic). {!set_notify} is the one exception — install the hook
+    before the governor is shared with other domains. *)
 
 type resource = Deadline | Conflicts | Aig_nodes | Bdd_nodes
 
@@ -86,6 +93,12 @@ val charge_bdd_nodes : t -> int -> unit
     negative. *)
 val remaining_time : t -> float option
 
+(** Nodes left under the AIG ceiling ([None] = no ceiling), measured
+    against the largest node count any {!check_aig_nodes} call has
+    reported so far; never negative. The resource sampler reads this to
+    plot headroom without reaching into the AIG manager. *)
+val aig_headroom : t -> int option
+
 (** Seconds since [create]. *)
 val elapsed : t -> float
 
@@ -96,5 +109,7 @@ val pp_resource : Format.formatter -> resource -> unit
     governor, on the first fatal trip ({!Bdd_nodes} included when
     promoted via {!trip}). The observability layer uses it to emit
     [limits.*] counters and the [limits.exhausted] trace instant
-    without this module depending on it. *)
+    without this module depending on it. Install before sharing the
+    governor across domains: the hook cell itself is plain mutable
+    state. *)
 val set_notify : t -> (resource -> unit) -> unit

@@ -161,13 +161,21 @@ let test_report_schema () =
   Obs.meta "model" "unit-test";
   let json = Obs.report () in
   (* top-level shape, as documented in docs/OBSERVABILITY.md *)
-  check bool "schema_version = 1" true
-    (Obs.Json.member "schema_version" json = Some (Obs.Json.Int 1));
+  check bool "schema_version = 2" true
+    (Obs.Json.member "schema_version" json = Some (Obs.Json.Int 2));
   (match Obs.Json.member "meta" json with
   | Some m ->
     check bool "meta holds the stamped pair" true
-      (Obs.Json.member "model" m = Some (Obs.Json.String "unit-test"))
+      (Obs.Json.member "model" m = Some (Obs.Json.String "unit-test"));
+    (* v2: provenance is stamped into every report *)
+    check bool "ocaml_version stamped" true
+      (Obs.Json.member "ocaml_version" m = Some (Obs.Json.String Sys.ocaml_version));
+    check bool "word_size stamped" true
+      (Obs.Json.member "word_size" m = Some (Obs.Json.String (string_of_int Sys.word_size)));
+    check bool "hostname stamped" true (Obs.Json.member "hostname" m <> None)
   | None -> Alcotest.fail "missing meta");
+  (* no sampler ran: the optional timeseries section is absent *)
+  check bool "no timeseries without a sampler" true (Obs.Json.member "timeseries" json = None);
   (match Obs.Json.member "counters" json with
   | Some cs ->
     check bool "counter under its dotted name" true
@@ -196,6 +204,45 @@ let test_report_schema () =
   match Obs.Json.of_string (Obs.Json.to_string json) with
   | Ok _ -> ()
   | Error msg -> Alcotest.fail ("report does not round-trip: " ^ msg)
+
+(* edge reports must serialize to parseable JSON and read back with the
+   same metric content: empty, max_int counters, non-finite span times
+   (clamped to 0.0 by the serializer — JSON has no inf/nan) *)
+let test_report_edges () =
+  let parse_back () =
+    let json = Obs.report () in
+    match Obs.Json.of_string (Obs.Json.to_string json) with
+    | Ok v -> v
+    | Error msg -> Alcotest.fail ("edge report does not round-trip: " ^ msg)
+  in
+  (* empty: no metric recorded, no metadata *)
+  with_obs true (fun () ->
+      let v = parse_back () in
+      check bool "empty report has schema_version" true
+        (Obs.Json.member "schema_version" v = Some (Obs.Json.Int 2));
+      check bool "empty report has a counters object" true
+        (match Obs.Json.member "counters" v with Some (Obs.Json.Obj _) -> true | _ -> false));
+  (* max_int counter survives the round-trip exactly *)
+  with_obs true (fun () ->
+      Obs.add (Obs.counter "test.edge.maxint") max_int;
+      let v = parse_back () in
+      match Option.bind (Obs.Json.member "counters" v) (Obs.Json.member "test.edge.maxint") with
+      | Some (Obs.Json.Int n) -> check bool "max_int exact" true (n = max_int)
+      | _ -> Alcotest.fail "max_int counter missing");
+  (* non-finite span seconds are clamped, not emitted as invalid JSON *)
+  with_obs true (fun () ->
+      let s = Obs.span "test.edge.inf" in
+      Obs.add_seconds s infinity;
+      Obs.add_seconds s nan;
+      let v = parse_back () in
+      match Option.bind (Obs.Json.member "spans" v) (Obs.Json.member "test.edge.inf") with
+      | Some sp ->
+        check bool "clamped to a finite float" true
+          (match Obs.Json.member "seconds" sp with
+          | Some (Obs.Json.Float f) -> Float.is_finite f
+          | Some (Obs.Json.Int _) -> true
+          | _ -> false)
+      | None -> Alcotest.fail "span entry missing")
 
 let test_write_report () =
   with_obs true @@ fun () ->
@@ -304,6 +351,34 @@ let test_progress_begin_run_resets_watch () =
     check bool "fresh watch after begin_run" true (ends_zero after_reset)
   | _ -> Alcotest.fail "expected at least two progress lines"
 
+(* TTY teardown: the in-place line must be newline-terminated when the
+   run region ends — including by exception — so later output (stats
+   summary, a backtrace) never lands mid-line. [~tty:true] forces the
+   rewrite path even though the capture channel is a pipe/file. *)
+let test_progress_tty_teardown () =
+  let path = Filename.temp_file "cbq_progress_tty" ".log" in
+  let ch = open_out path in
+  Obs.Progress.start ~channel:ch ~tty:true ();
+  (try
+     Fun.protect
+       ~finally:Obs.Progress.finish
+       (fun () ->
+         Obs.Progress.frame ~index:0 ~nodes:7;
+         Obs.Progress.frame ~index:1 ~nodes:9;
+         failwith "engine blew up")
+   with Failure _ -> ());
+  close_out ch;
+  let ic = open_in_bin path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  check bool "frames rewrite in place" true (String.contains text '\r');
+  check bool "line terminated despite the exception" true
+    (String.length text > 0 && text.[String.length text - 1] = '\n');
+  (* disarmed: later frames are silent, a second finish is a no-op *)
+  Obs.Progress.frame ~index:2 ~nodes:1;
+  Obs.Progress.finish ()
+
 let test_disabled_traversal_is_silent () =
   with_obs false @@ fun () ->
   let model = Circuits.Families.counter ~bits:3 in
@@ -344,6 +419,7 @@ let () =
       ( "report",
         [
           Alcotest.test_case "documented schema" `Quick test_report_schema;
+          Alcotest.test_case "edge reports round-trip" `Quick test_report_edges;
           Alcotest.test_case "write_report" `Quick test_write_report;
         ] );
       ( "integration",
@@ -355,5 +431,7 @@ let () =
           Alcotest.test_case "bench rows are isolated" `Quick test_bench_row_isolation;
           Alcotest.test_case "begin_run resets the progress watch" `Quick
             test_progress_begin_run_resets_watch;
+          Alcotest.test_case "tty teardown survives exceptions" `Quick
+            test_progress_tty_teardown;
         ] );
     ]

@@ -8,11 +8,17 @@ let int = Alcotest.int
 let bool = Alcotest.bool
 let string = Alcotest.string
 
-let report ?(counters = []) ?(spans = []) ?(histograms = []) () =
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let report ?(schema = 1) ?(meta = []) ?(counters = []) ?(spans = []) ?(histograms = []) () =
   let open Obs.Json in
   Obj
     [
-      ("schema_version", Int 1);
+      ("schema_version", Int schema);
+      ("meta", Obj (List.map (fun (k, v) -> (k, String v)) meta));
       ("counters", Obj (List.map (fun (n, v) -> (n, Int v)) counters));
       ( "spans",
         Obj
@@ -80,6 +86,72 @@ let test_timing_gated_separately () =
     check bool "timing gated when asked" true
       (Obs.Regress.exceeds ~threshold:0.1 ~time_threshold:(Some 1.0) d)
   | ds -> Alcotest.failf "expected 1 delta, got %d" (List.length ds)
+
+(* ---------- validation and provenance ---------- *)
+
+let test_validate_report () =
+  let ok r = match Obs.Regress.validate_report r with Ok _ -> true | Error _ -> false in
+  check bool "schema 1 accepted" true (ok (report ~schema:1 ()));
+  check bool "schema 2 accepted" true (ok (report ~schema:2 ()));
+  check bool "schema 3 rejected" false (ok (report ~schema:3 ()));
+  check bool "non-object rejected" false (ok (Obs.Json.List []));
+  check bool "missing schema_version rejected" false
+    (ok (Obs.Json.Obj [ ("counters", Obs.Json.Obj []) ]));
+  check bool "missing counters rejected" false
+    (ok (Obs.Json.Obj [ ("schema_version", Obs.Json.Int 2) ]));
+  (match Obs.Regress.validate_report (report ~schema:7 ()) with
+  | Error msg -> check bool "error names the version" true (contains msg "7")
+  | Ok _ -> Alcotest.fail "schema 7 accepted")
+
+let test_meta_mismatches () =
+  let old_r = report ~schema:1 ~meta:[ ("hostname", "alpha"); ("model", "counter4") ] () in
+  let new_r =
+    report ~schema:2
+      ~meta:[ ("hostname", "beta"); ("model", "arbiter3"); ("ocaml_version", "5.1.1") ]
+      ()
+  in
+  let diff = Obs.Regress.meta_mismatches old_r new_r in
+  check bool "schema bump reported" true (List.mem ("schema_version", "1", "2") diff);
+  check bool "hostname change reported" true (List.mem ("hostname", "alpha", "beta") diff);
+  (* one-sided provenance (pre-v2 reports) is not noise *)
+  check bool "one-sided key not reported" true
+    (not (List.exists (fun (k, _, _) -> k = "ocaml_version") diff));
+  (* model/engine are run identity, not provenance *)
+  check bool "model is not a provenance key" true
+    (not (List.exists (fun (k, _, _) -> k = "model") diff))
+
+(* ---------- trend ---------- *)
+
+let test_trend_flags_injected_slowdown () =
+  (* three stored runs of one family; the slowdown is injected between
+     run B and run C and must be attributed to exactly that step *)
+  let a = report ~counters:[ ("sat.conflicts", 100) ] () in
+  let b = report ~counters:[ ("sat.conflicts", 102) ] () in
+  let c = report ~counters:[ ("sat.conflicts", 300) ] () in
+  match Obs.Regress.trend [ ("run 1", a); ("run 2", b); ("run 3", c) ] with
+  | Error msg -> Alcotest.fail msg
+  | Ok steps -> (
+    check int "two consecutive steps" 2 (List.length steps);
+    let gated s =
+      List.filter
+        (Obs.Regress.exceeds ~threshold:0.1 ~time_threshold:None)
+        s.Obs.Regress.step_deltas
+    in
+    match steps with
+    | [ s1; s2 ] ->
+      check string "step labels" "run 2" s1.Obs.Regress.to_label;
+      check int "quiet step not flagged" 0 (List.length (gated s1));
+      check int "injected jump flagged" 1 (List.length (gated s2));
+      check string "attributed to the right step" "run 3" s2.Obs.Regress.to_label
+    | _ -> Alcotest.fail "expected exactly two steps")
+
+let test_trend_rejects_invalid () =
+  let good = report () and bad = report ~schema:9 () in
+  match Obs.Regress.trend [ ("run 1", good); ("run 2", bad) ] with
+  | Ok _ -> Alcotest.fail "invalid report accepted"
+  | Error msg ->
+    check bool "error names the run" true (contains msg "run 2");
+    check bool "error is one line" true (not (String.contains msg '\n'))
 
 (* ---------- diff_dirs / passes ---------- *)
 
@@ -178,11 +250,6 @@ let run_cli args =
   Format.pp_print_flush err ();
   (code, Buffer.contents out_buf, Buffer.contents err_buf)
 
-let contains haystack needle =
-  let n = String.length needle and h = String.length haystack in
-  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
-  go 0
-
 let test_cli_usage_errors () =
   List.iter
     (fun args ->
@@ -215,6 +282,52 @@ let test_cli_clean_pair_exits_zero () =
   check bool "verdict on stdout" true (contains out "OK: 1 report pair");
   check string "stderr stays clean" "" err
 
+let test_cli_unparsable_report_exits_two () =
+  with_two_dirs @@ fun old_dir new_dir ->
+  write_json old_dir "001-row.json" (report ~counters:[ ("a", 1) ] ());
+  let oc = open_out (Filename.concat new_dir "001-row.json") in
+  output_string oc "{\"schema_version\": 1, truncated";
+  close_out oc;
+  let code, out, err = run_cli [ old_dir; new_dir ] in
+  check int "unparsable report exits 2" 2 code;
+  check bool "structured one-line error on stderr" true
+    (contains err "001-row.json" && contains err "unparsable");
+  check bool "no exception trace" true (not (contains err "Fatal error"));
+  check string "stdout stays clean" "" out
+
+let test_cli_unsupported_schema_exits_two () =
+  with_two_dirs @@ fun old_dir new_dir ->
+  write_json old_dir "001-row.json" (report ~counters:[ ("a", 1) ] ());
+  write_json new_dir "001-row.json" (report ~schema:9 ~counters:[ ("a", 1) ] ());
+  let code, out, err = run_cli [ old_dir; new_dir ] in
+  check int "unsupported schema exits 2" 2 code;
+  check bool "error names the schema" true
+    (contains err "invalid report" && contains err "schema_version 9");
+  check string "stdout stays clean" "" out
+
+let test_cli_schema_window_diffs_clean () =
+  (* the v1 -> v2 bump is additive: checked-in v1 baselines must keep
+     diffing against fresh v2 reports, with the bump noted in the header *)
+  with_two_dirs @@ fun old_dir new_dir ->
+  write_json old_dir "001-row.json" (report ~schema:1 ~counters:[ ("a", 3) ] ());
+  write_json new_dir "001-row.json"
+    (report ~schema:2 ~meta:[ ("ocaml_version", "5.1.1") ] ~counters:[ ("a", 3) ] ());
+  let code, out, err = run_cli [ old_dir; new_dir ] in
+  check int "cross-schema pair diffs clean" 0 code;
+  check bool "bump noted in the header" true (contains out "schema_version differs: 1 -> 2");
+  check string "stderr stays clean" "" err
+
+let test_cli_meta_mismatch_header () =
+  with_two_dirs @@ fun old_dir new_dir ->
+  write_json old_dir "001-row.json"
+    (report ~schema:2 ~meta:[ ("hostname", "alpha") ] ~counters:[ ("a", 3) ] ());
+  write_json new_dir "001-row.json"
+    (report ~schema:2 ~meta:[ ("hostname", "beta") ] ~counters:[ ("a", 3) ] ());
+  let code, out, _ = run_cli [ old_dir; new_dir ] in
+  check int "meta mismatch alone does not gate" 0 code;
+  check bool "mismatch printed in the header" true
+    (contains out "hostname differs: alpha -> beta")
+
 let test_cli_regression_exits_one () =
   with_two_dirs @@ fun old_dir new_dir ->
   write_json old_dir "001-row.json" (report ~counters:[ ("a", 100) ] ());
@@ -239,6 +352,17 @@ let () =
           Alcotest.test_case "gate is symmetric" `Quick test_gate_is_symmetric;
           Alcotest.test_case "timings gated separately" `Quick test_timing_gated_separately;
         ] );
+      ( "validate",
+        [
+          Alcotest.test_case "schema window" `Quick test_validate_report;
+          Alcotest.test_case "meta mismatches" `Quick test_meta_mismatches;
+        ] );
+      ( "trend",
+        [
+          Alcotest.test_case "injected slowdown flagged" `Quick
+            test_trend_flags_injected_slowdown;
+          Alcotest.test_case "invalid report rejected" `Quick test_trend_rejects_invalid;
+        ] );
       ( "dirs",
         [
           Alcotest.test_case "self-diff passes" `Quick test_self_diff_passes;
@@ -254,6 +378,13 @@ let () =
           Alcotest.test_case "bad threshold exits 2" `Quick test_cli_bad_threshold;
           Alcotest.test_case "missing directory exits 2" `Quick test_cli_missing_directory;
           Alcotest.test_case "clean pair exits 0" `Quick test_cli_clean_pair_exits_zero;
+          Alcotest.test_case "unparsable report exits 2" `Quick
+            test_cli_unparsable_report_exits_two;
+          Alcotest.test_case "unsupported schema exits 2" `Quick
+            test_cli_unsupported_schema_exits_two;
+          Alcotest.test_case "schema window diffs clean" `Quick
+            test_cli_schema_window_diffs_clean;
+          Alcotest.test_case "meta mismatch header" `Quick test_cli_meta_mismatch_header;
           Alcotest.test_case "regression exits 1" `Quick test_cli_regression_exits_one;
         ] );
     ]

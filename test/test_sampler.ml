@@ -1,0 +1,161 @@
+(* Resource sampler: series shape (>= 2 points even for instant runs),
+   monotonic timestamps and cumulative counters, governor budget
+   fields, and the trace counter-row replay. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let with_obs f =
+  Obs.reset ();
+  Obs.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.set_enabled false; Obs.reset ()) f
+
+(* run a sampler around [body], return the parsed timeseries section *)
+let sampled ?limits ?(interval = 0.005) body =
+  let s = Obs.Sampler.start ~interval ?limits () in
+  body ();
+  Obs.Sampler.stop s;
+  match Obs.Json.member "timeseries" (Obs.report ()) with
+  | Some ts -> ts
+  | None -> Alcotest.fail "report lacks the timeseries section"
+
+let points ts =
+  match Obs.Json.member "points" ts with
+  | Some (Obs.Json.List ps) -> ps
+  | _ -> Alcotest.fail "timeseries lacks points"
+
+let float_member name p =
+  match Obs.Json.member name p with
+  | Some (Obs.Json.Float f) -> f
+  | Some (Obs.Json.Int i) -> float_of_int i
+  | _ -> Alcotest.fail (Printf.sprintf "point lacks %s" name)
+
+let int_member name p =
+  match Obs.Json.member name p with
+  | Some (Obs.Json.Int i) -> i
+  | _ -> Alcotest.fail (Printf.sprintf "point lacks %s" name)
+
+let test_instant_run_has_two_points () =
+  with_obs @@ fun () ->
+  let ts = sampled (fun () -> ()) in
+  check bool "at least start + stop points" true (List.length (points ts) >= 2);
+  match Obs.Json.member "samples" ts with
+  | Some (Obs.Json.Int n) -> check int "samples field agrees" (List.length (points ts)) n
+  | _ -> Alcotest.fail "timeseries lacks samples"
+
+let test_monotonic_timestamps_and_counters () =
+  with_obs @@ fun () ->
+  let c = Obs.counter "sat.conflicts" in
+  let ts =
+    sampled (fun () ->
+        (* busy-work across several intervals, only ever increasing *)
+        let w = Util.Stopwatch.start () in
+        while Util.Stopwatch.elapsed w < 0.05 do
+          Obs.incr c
+        done)
+  in
+  let ps = points ts in
+  check bool "several samples over 50ms at 5ms" true (List.length ps >= 3);
+  let rec pairs = function
+    | a :: (b :: _ as rest) ->
+      check bool "timestamps non-decreasing" true (float_member "t" a <= float_member "t" b);
+      let ca =
+        match Obs.Json.member "counters" a with
+        | Some cs -> int_member "sat.conflicts" cs
+        | None -> Alcotest.fail "point lacks counters"
+      and cb =
+        match Obs.Json.member "counters" b with
+        | Some cs -> int_member "sat.conflicts" cs
+        | None -> Alcotest.fail "point lacks counters"
+      in
+      check bool "counter deltas non-negative" true (ca <= cb);
+      pairs rest
+    | _ -> ()
+  in
+  pairs ps;
+  (* the closing sample reads the final value exactly *)
+  (match List.rev ps with
+  | last :: _ -> (
+    match Obs.Json.member "counters" last with
+    | Some cs -> check int "final sample exact" (Obs.value c) (int_member "sat.conflicts" cs)
+    | None -> Alcotest.fail "final point lacks counters")
+  | [] -> ());
+  check bool "heap words recorded" true
+    (List.for_all (fun p -> Obs.Json.member "heap_words" p <> None) ps)
+
+let test_budget_fields_with_governor () =
+  with_obs @@ fun () ->
+  let limits = Util.Limits.create ~timeout:60.0 ~max_conflicts:5_000 () in
+  Util.Limits.charge_conflicts limits 100;
+  let ts = sampled ~limits (fun () -> Util.Limits.charge_conflicts limits 900) in
+  let ps = points ts in
+  let budget p =
+    match Obs.Json.member "budget" p with
+    | Some b -> b
+    | None -> Alcotest.fail "governed point lacks budget"
+  in
+  List.iter
+    (fun p ->
+      let b = budget p in
+      check bool "deadline field present" true (Obs.Json.member "time_left_s" b <> None);
+      check bool "conflict pool present" true (Obs.Json.member "conflicts_left" b <> None))
+    ps;
+  let first = budget (List.hd ps) and last = budget (List.nth ps (List.length ps - 1)) in
+  check int "pool before the body" 4_900 (int_member "conflicts_left" first);
+  check int "pool after the body" 4_000 (int_member "conflicts_left" last);
+  check bool "deadline only shrinks" true
+    (float_member "time_left_s" last <= float_member "time_left_s" first)
+
+let test_unlimited_governor_omits_budget () =
+  with_obs @@ fun () ->
+  let ts = sampled ~limits:Util.Limits.unlimited (fun () -> ()) in
+  List.iter
+    (fun p -> check bool "no budget keys when nothing is bounded" true
+        (Obs.Json.member "budget" p = None))
+    (points ts)
+
+let test_trace_replay () =
+  with_obs @@ fun () ->
+  Obs.Trace_events.reset ();
+  Obs.Trace_events.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace_events.set_enabled false;
+      Obs.Trace_events.reset ())
+    (fun () ->
+      let ts = sampled (fun () -> Unix.sleepf 0.02) in
+      let n_points = List.length (points ts) in
+      let rows =
+        List.filter
+          (fun e ->
+            e.Obs.Trace_events.ev_ph = 'C'
+            && String.length e.Obs.Trace_events.ev_name > 8
+            && String.sub e.Obs.Trace_events.ev_name 0 8 = "sampler.")
+          (Obs.Trace_events.events ())
+      in
+      check bool "counter rows replayed into the trace" true (List.length rows >= n_points);
+      let tss = List.map (fun e -> e.Obs.Trace_events.ev_ts) rows in
+      check bool "replayed timestamps non-decreasing" true
+        (List.for_all2 ( <= ) tss (List.tl tss @ [ infinity ]));
+      (* the trace JSON stays well-formed with replayed rows in it *)
+      match Obs.Json.of_string (Obs.Json.to_string (Obs.Trace_events.to_json ())) with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.fail ("trace with sampler rows unparsable: " ^ msg))
+
+let () =
+  Alcotest.run "sampler"
+    [
+      ( "sampler",
+        [
+          Alcotest.test_case "instant run yields two points" `Quick
+            test_instant_run_has_two_points;
+          Alcotest.test_case "monotone timestamps and counters" `Quick
+            test_monotonic_timestamps_and_counters;
+          Alcotest.test_case "governor budgets in every point" `Quick
+            test_budget_fields_with_governor;
+          Alcotest.test_case "unlimited governor omits budget" `Quick
+            test_unlimited_governor_omits_budget;
+          Alcotest.test_case "trace counter-row replay" `Quick test_trace_replay;
+        ] );
+    ]

@@ -1,0 +1,154 @@
+(* Run-report store: append/list/load round-trip, meta filtering, and
+   the recovery paths — a deleted index is rebuilt from the JSONL, and
+   a torn tail (crash mid-append) is cut back to the last line that
+   parses without losing the runs before it. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let string = Alcotest.string
+
+let with_dir f =
+  let dir = Filename.temp_file "cbq_store" "" in
+  Sys.remove dir;
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm dir) (fun () -> f dir)
+
+(* a minimal valid schema-2 report *)
+let report ?(model = "counter4") ?(engine = "cbq") ?(verdict = "proved") ~conflicts () =
+  Obs.Json.Obj
+    [
+      ("schema_version", Obs.Json.Int 2);
+      ( "meta",
+        Obs.Json.Obj
+          [
+            ("model", Obs.Json.String model);
+            ("engine", Obs.Json.String engine);
+            ("verdict", Obs.Json.String verdict);
+          ] );
+      ("counters", Obs.Json.Obj [ ("sat.conflicts", Obs.Json.Int conflicts) ]);
+      ("spans", Obs.Json.Obj []);
+      ("histograms", Obs.Json.Obj []);
+    ]
+
+let test_append_load_roundtrip () =
+  with_dir @@ fun dir ->
+  let store = Obs.Store.open_ dir in
+  check int "fresh store is empty" 0 (List.length (Obs.Store.entries store));
+  let e1 = Obs.Store.append store (report ~conflicts:10 ()) in
+  let e2 = Obs.Store.append store (report ~conflicts:20 ~verdict:"falsified:3" ()) in
+  check int "sequential ids" 1 e1.Obs.Store.id;
+  check int "sequential ids" 2 e2.Obs.Store.id;
+  check string "meta extracted into the index" "counter4" e1.Obs.Store.model;
+  check string "verdict extracted" "falsified:3" e2.Obs.Store.verdict;
+  check bool "stored_at stamped" true (e1.Obs.Store.stored_at <> "");
+  match Obs.Store.load store 1 with
+  | Error msg -> Alcotest.fail msg
+  | Ok (_, r) -> (
+    check bool "stored_at landed in the report meta" true
+      (Option.bind (Obs.Json.member "meta" r) (Obs.Json.member "stored_at") <> None);
+    match Option.bind (Obs.Json.member "counters" r) (Obs.Json.member "sat.conflicts") with
+    | Some (Obs.Json.Int 10) -> ()
+    | _ -> Alcotest.fail "loaded report lost its counters")
+
+let test_select_filters () =
+  with_dir @@ fun dir ->
+  let store = Obs.Store.open_ dir in
+  ignore (Obs.Store.append store (report ~model:"counter4" ~engine:"cbq" ~conflicts:1 ()));
+  ignore (Obs.Store.append store (report ~model:"counter4" ~engine:"bmc" ~conflicts:2 ()));
+  ignore (Obs.Store.append store (report ~model:"arbiter3" ~engine:"cbq" ~conflicts:3 ()));
+  ignore (Obs.Store.append store (report ~model:"counter4" ~engine:"cbq" ~conflicts:4 ()));
+  let ids sel = List.map (fun e -> e.Obs.Store.id) sel in
+  check (Alcotest.list int) "model+engine filter, oldest first" [ 1; 4 ]
+    (ids (Obs.Store.select ~model:"counter4" ~engine:"cbq" store));
+  check (Alcotest.list int) "last window" [ 4 ]
+    (ids (Obs.Store.select ~model:"counter4" ~engine:"cbq" ~last:1 store));
+  check (Alcotest.list int) "no match" []
+    (ids (Obs.Store.select ~model:"nonesuch" store))
+
+let test_reopen_uses_index () =
+  with_dir @@ fun dir ->
+  let store = Obs.Store.open_ dir in
+  ignore (Obs.Store.append store (report ~conflicts:1 ()));
+  ignore (Obs.Store.append store (report ~conflicts:2 ()));
+  let reopened = Obs.Store.open_ dir in
+  check int "reopen sees both runs" 2 (List.length (Obs.Store.entries reopened))
+
+let test_index_rebuild_after_delete () =
+  with_dir @@ fun dir ->
+  let store = Obs.Store.open_ dir in
+  ignore (Obs.Store.append store (report ~conflicts:1 ()));
+  ignore (Obs.Store.append store (report ~conflicts:2 ~model:"arbiter3" ()));
+  Sys.remove (Filename.concat dir "index.json");
+  let reopened = Obs.Store.open_ dir in
+  let entries = Obs.Store.entries reopened in
+  check int "rebuilt from the data file" 2 (List.length entries);
+  check string "meta recovered from the report lines" "arbiter3"
+    (List.nth entries 1).Obs.Store.model;
+  match Obs.Store.load reopened 2 with
+  | Ok (_, r) -> (
+    match Option.bind (Obs.Json.member "counters" r) (Obs.Json.member "sat.conflicts") with
+    | Some (Obs.Json.Int 2) -> ()
+    | _ -> Alcotest.fail "rebuilt offsets point at the wrong line")
+  | Error msg -> Alcotest.fail msg
+
+let test_truncated_tail_recovery () =
+  with_dir @@ fun dir ->
+  let store = Obs.Store.open_ dir in
+  ignore (Obs.Store.append store (report ~conflicts:1 ()));
+  ignore (Obs.Store.append store (report ~conflicts:2 ()));
+  ignore (Obs.Store.append store (report ~conflicts:3 ()));
+  let data = Filename.concat dir "runs.jsonl" in
+  (* tear the last line mid-record, as a crash mid-append would *)
+  let size = (Unix.stat data).Unix.st_size in
+  Unix.truncate data (size - 17);
+  let reopened = Obs.Store.open_ dir in
+  let entries = Obs.Store.entries reopened in
+  check int "intact prefix survives" 2 (List.length entries);
+  (match Obs.Store.load reopened 2 with
+  | Ok (_, r) -> (
+    match Option.bind (Obs.Json.member "counters" r) (Obs.Json.member "sat.conflicts") with
+    | Some (Obs.Json.Int 2) -> ()
+    | _ -> Alcotest.fail "wrong report behind id 2")
+  | Error msg -> Alcotest.fail msg);
+  (* the torn bytes are gone: the next append lands on a clean boundary *)
+  let e = Obs.Store.append reopened (report ~conflicts:4 ()) in
+  check int "append after recovery" 3 e.Obs.Store.id;
+  match Obs.Store.load reopened 3 with
+  | Ok (_, r) -> (
+    match Option.bind (Obs.Json.member "counters" r) (Obs.Json.member "sat.conflicts") with
+    | Some (Obs.Json.Int 4) -> ()
+    | _ -> Alcotest.fail "post-recovery append unreadable")
+  | Error msg -> Alcotest.fail msg
+
+let test_garbage_line_recovery () =
+  with_dir @@ fun dir ->
+  let store = Obs.Store.open_ dir in
+  ignore (Obs.Store.append store (report ~conflicts:1 ()));
+  let data = Filename.concat dir "runs.jsonl" in
+  let oc = open_out_gen [ Open_append ] 0o644 data in
+  output_string oc "{not json at all\n";
+  close_out oc;
+  Sys.remove (Filename.concat dir "index.json");
+  let reopened = Obs.Store.open_ dir in
+  check int "scan stops at the first bad line" 1 (List.length (Obs.Store.entries reopened))
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "store",
+        [
+          Alcotest.test_case "append/load round-trip" `Quick test_append_load_roundtrip;
+          Alcotest.test_case "select filters and windows" `Quick test_select_filters;
+          Alcotest.test_case "reopen via the index" `Quick test_reopen_uses_index;
+          Alcotest.test_case "index rebuild after delete" `Quick test_index_rebuild_after_delete;
+          Alcotest.test_case "truncated tail recovery" `Quick test_truncated_tail_recovery;
+          Alcotest.test_case "garbage line stops the scan" `Quick test_garbage_line_recovery;
+        ] );
+    ]
