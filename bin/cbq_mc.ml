@@ -19,6 +19,7 @@ type engine =
   | Induction_engine
   | Cofactor
   | Hybrid_engine
+  | Portfolio
 
 let engine_names =
   [
@@ -30,6 +31,7 @@ let engine_names =
     ("induction", Induction_engine);
     ("cofactor", Cofactor);
     ("hybrid", Hybrid_engine);
+    ("portfolio", Portfolio);
   ]
 
 let load_model circuit param aag =
@@ -58,10 +60,24 @@ let print_minimized model t =
       Format.printf "@.")
     essential
 
-let run_engine ?(minimize = false) ~limits engine model verbose trace_wanted =
+let run_engine ?(minimize = false) ?jobs ?(sweep_jobs = 1)
+    ?(make_limits = fun () -> Util.Limits.create ()) ~limits engine model verbose trace_wanted =
   match engine with
   | Cbq_engine | Cbq_fwd ->
     let config = { Cbq.Reachability.default with make_trace = trace_wanted } in
+    let config =
+      if sweep_jobs <= 1 then config
+      else
+        {
+          config with
+          quant =
+            {
+              config.Cbq.Reachability.quant with
+              sweep =
+                { config.Cbq.Reachability.quant.Cbq.Quantify.sweep with sat_jobs = sweep_jobs };
+            };
+        }
+    in
     let r =
       if engine = Cbq_fwd then Cbq.Forward.run ~config ~limits model
       else Cbq.Reachability.run ~config ~limits model
@@ -131,6 +147,25 @@ let run_engine ?(minimize = false) ~limits engine model verbose trace_wanted =
     | Baselines.Verdict.Proved -> `Proved
     | Baselines.Verdict.Falsified d -> `Falsified d
     | Baselines.Verdict.Undecided _ -> `Undecided)
+  | Portfolio ->
+    (* the shared governor is not handed to the racers: each entrant
+       gets its own cancellable governor from [make_limits] so the
+       winner can stop the losers without poisoning anything shared *)
+    ignore limits;
+    let config = { Baselines.Suite.default_config with make_trace = trace_wanted } in
+    let r = Baselines.Portfolio.run ~config ?jobs ~make_limits model in
+    Format.printf "%a@." Baselines.Portfolio.pp_result r;
+    (match r.Baselines.Portfolio.trace with
+    | Some t when trace_wanted ->
+      (* clones preserve numbering, so the winner's trace replays on the
+         original model *)
+      Format.printf "%a" (Cbq.Trace.pp model) t;
+      if minimize then print_minimized model t
+    | Some _ | None -> ());
+    (match r.Baselines.Portfolio.verdict with
+    | Baselines.Verdict.Proved -> `Proved
+    | Baselines.Verdict.Falsified d -> `Falsified d
+    | Baselines.Verdict.Undecided _ -> `Undecided)
 
 (* ---------- list ---------- *)
 
@@ -155,7 +190,26 @@ let engine_arg =
     value
     & opt (enum engine_names) Cbq_engine
     & info [ "e"; "engine" ] ~docv:"ENGINE"
-        ~doc:"verification engine: cbq | bdd-bwd | bdd-fwd | bmc | induction | cofactor | hybrid")
+        ~doc:
+          "verification engine: cbq | cbq-fwd | bdd-bwd | bdd-fwd | bmc | induction | cofactor \
+           | hybrid | portfolio (race all of them, first decisive verdict wins)")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "domains for the portfolio race (default: one per engine, capped by the machine's \
+           recommended domain count); ignored by single engines")
+
+let sweep_jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "sweep-jobs" ] ~docv:"N"
+        ~doc:
+          "domains for the sweeper's SAT-merge stage inside the cbq engines (docs/PARALLEL.md); \
+           1 keeps the stage fully sequential")
 
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"per-iteration detail")
 let trace_arg = Arg.(value & flag & info [ "t"; "trace" ] ~doc:"print the counterexample trace")
@@ -287,8 +341,8 @@ let emit_stats ~stats ~stats_json ~store ~model ~engine ~watch ~limits outcome =
 
 let run_cmd =
   let doc = "verify a circuit's safety property" in
-  let run circuit param aag engine verbose trace seq_sweep coi minimize stats stats_json
-      trace_json progress sample_interval store timeout max_conflicts max_aig_nodes
+  let run circuit param aag engine jobs sweep_jobs verbose trace seq_sweep coi minimize stats
+      stats_json trace_json progress sample_interval store timeout max_conflicts max_aig_nodes
       max_bdd_nodes =
     (* --progress reads the sweep merge counters, --sample-interval and
        --store record them, so all three need the registry live even
@@ -345,7 +399,13 @@ let run_cmd =
             end
             else model
           in
-          let outcome = run_engine ~minimize ~limits engine model verbose trace in
+          let make_limits () =
+            Util.Limits.create ?timeout ?max_conflicts ?max_aig_nodes ?max_bdd_nodes ()
+          in
+          let outcome =
+            run_engine ~minimize ?jobs ~sweep_jobs ~make_limits ~limits engine model verbose
+              trace
+          in
           (model, status, outcome))
     in
     (match Util.Limits.exhausted limits with
@@ -381,10 +441,10 @@ let run_cmd =
   in
   ( Cmd.info "run" ~doc,
     Term.(
-      const run $ circuit_arg $ param_arg $ aag_arg $ engine_arg $ verbose_arg $ trace_arg
-      $ seq_sweep_arg $ coi_arg $ minimize_arg $ stats_arg $ stats_json_arg $ trace_json_arg
-      $ progress_arg $ sample_interval_arg $ store_opt_arg $ timeout_arg $ max_conflicts_arg
-      $ max_aig_nodes_arg $ max_bdd_nodes_arg) )
+      const run $ circuit_arg $ param_arg $ aag_arg $ engine_arg $ jobs_arg $ sweep_jobs_arg
+      $ verbose_arg $ trace_arg $ seq_sweep_arg $ coi_arg $ minimize_arg $ stats_arg
+      $ stats_json_arg $ trace_json_arg $ progress_arg $ sample_interval_arg $ store_opt_arg
+      $ timeout_arg $ max_conflicts_arg $ max_aig_nodes_arg $ max_bdd_nodes_arg) )
 
 let run_term = snd run_cmd
 let run_cmd = Cmd.v (fst run_cmd) run_term
@@ -538,6 +598,15 @@ let fuzz_cmd =
   let no_shrink_arg =
     Arg.(value & flag & info [ "no-shrink" ] ~doc:"report failures without minimizing them")
   in
+  let fuzz_jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "shard the campaign across $(docv) domains. Per-model seeds are derived from the \
+             master seed by index, and corpus writes are funnelled through one domain in index \
+             order, so results and repro files are identical at any $(docv)")
+  in
   let inject_fault_arg =
     Arg.(value & flag
          & info [ "inject-sweep-fault" ]
@@ -545,7 +614,7 @@ let fuzz_cmd =
                "self-test: make the sweeper merge SAT-refuted pairs (a deliberate soundness \
                 bug) and confirm the oracles catch it")
   in
-  let run seed count max_latches max_inputs cone_depth corpus no_shrink inject_fault stats
+  let run seed count max_latches max_inputs cone_depth corpus no_shrink jobs inject_fault stats
       stats_json progress timeout max_conflicts max_aig_nodes max_bdd_nodes =
     if stats || stats_json <> None || progress then begin
       Obs.reset ();
@@ -580,7 +649,7 @@ let fuzz_cmd =
     in
     let campaign () =
       Fuzz.Runner.run ~knobs ~config ?corpus_dir:corpus ~shrink:(not no_shrink) ~on_model
-        ~seed ~count ()
+        ~jobs ~seed ~count ()
     in
     let result =
       if inject_fault then Sweep.Fault.with_injection campaign else campaign ()
@@ -622,8 +691,9 @@ let fuzz_cmd =
     (Cmd.info "fuzz" ~doc ~man)
     Term.(
       const run $ seed_arg $ count_arg $ max_latches_arg $ max_inputs_arg $ cone_depth_arg
-      $ corpus_arg $ no_shrink_arg $ inject_fault_arg $ stats_arg $ stats_json_arg
-      $ progress_arg $ timeout_arg $ max_conflicts_arg $ max_aig_nodes_arg $ max_bdd_nodes_arg)
+      $ corpus_arg $ no_shrink_arg $ fuzz_jobs_arg $ inject_fault_arg $ stats_arg
+      $ stats_json_arg $ progress_arg $ timeout_arg $ max_conflicts_arg $ max_aig_nodes_arg
+      $ max_bdd_nodes_arg)
 
 (* ---------- sat ---------- *)
 

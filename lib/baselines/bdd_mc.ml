@@ -65,15 +65,23 @@ let run_engine ~limits ~node_limit ~body =
     | Some pool when pool < node_limit -> (true, max 1 pool)
     | Some _ | None -> (false, node_limit)
   in
+  (* Polling inside BDD construction keeps a blowing-up build
+     interruptible: without it a cancelled or deadline-tripped engine only
+     notices between reachability iterations, i.e. after it has already
+     ground to its node quota. *)
+  let poll () = if Util.Limits.check limits <> None then raise Bdd.Node_limit in
   let verdict =
-    match Bdd.with_limit man ~max_nodes:node_limit (fun () -> body limits man iterations) with
+    match Bdd.with_limit man ~poll ~max_nodes:node_limit (fun () -> body limits man iterations) with
     | Ok v -> v
-    | Error `Node_limit ->
-      if pool_bound then begin
-        Util.Limits.trip limits Util.Limits.Bdd_nodes;
-        Verdict.Undecided (Util.Limits.resource_name Util.Limits.Bdd_nodes)
-      end
-      else Verdict.Undecided "node limit"
+    | Error `Node_limit -> (
+      match Util.Limits.exhausted limits with
+      | Some r -> Verdict.Undecided (Util.Limits.resource_name r)
+      | None ->
+        if pool_bound then begin
+          Util.Limits.trip limits Util.Limits.Bdd_nodes;
+          Verdict.Undecided (Util.Limits.resource_name Util.Limits.Bdd_nodes)
+        end
+        else Verdict.Undecided "node limit")
   in
   Util.Limits.charge_bdd_nodes limits (Bdd.num_nodes man);
   {

@@ -1,0 +1,47 @@
+(** Portfolio engine: race the whole suite, first decisive verdict wins.
+
+    Every selected engine verifies its own thawed clone of the model
+    ([Par.Clone]) under its own fresh {!Util.Limits} governor, on a
+    domain pool ([Par.Race]). The first engine to return a {e decided}
+    verdict — [Proved] or [Falsified] — wins the race; the losers'
+    governors are cancelled and each loser returns its anytime
+    [Undecided] at its next governor checkpoint. Decided verdicts agree
+    with single-engine runs by construction: racing changes who answers
+    first, never what an engine answers on its own clone.
+
+    When no engine decides (all out of budget, crashed, or the model is
+    beyond every engine), the portfolio verdict is [Undecided]. *)
+
+type engine_outcome =
+  | Verdict of Verdict.t  (** the engine ran to completion *)
+  | Skipped  (** race decided before this engine started *)
+  | Crashed of string
+
+type result = {
+  verdict : Verdict.t;
+  trace : Cbq.Trace.t option;  (** the winner's counterexample, when it built one *)
+  winner : string option;  (** winning engine name; [None] if nothing decided *)
+  outcomes : (string * engine_outcome) list;  (** every entrant, in suite order *)
+  seconds : float;  (** wall-clock for the whole race *)
+}
+
+val pp_result : Format.formatter -> result -> unit
+
+(** [run ?config ?engines ?jobs ?make_limits m] races the named engines
+    (default: the whole suite) over up to [jobs] domains (default: one
+    per engine, capped by [Par.Pool.default_jobs]).
+
+    [make_limits] builds one governor per entrant — use it to give every
+    engine the same budget caps. It must return a {e fresh} governor on
+    each call (never [Util.Limits.unlimited]): the racer cancels losers
+    through it.
+
+    @raise Invalid_argument on an unknown engine name or an empty
+    engine list. *)
+val run :
+  ?config:Suite.config ->
+  ?engines:string list ->
+  ?jobs:int ->
+  ?make_limits:(unit -> Util.Limits.t) ->
+  Netlist.Model.t ->
+  result

@@ -1,0 +1,68 @@
+type config = { bmc_depth : int; induction_k : int; make_trace : bool }
+
+let default_config = { bmc_depth = 30; induction_k = 25; make_trace = true }
+
+type engine = {
+  name : string;
+  run : limits:Util.Limits.t -> Netlist.Model.t -> Verdict.t * Cbq.Trace.t option;
+}
+
+let of_cbq = function
+  | Cbq.Reachability.Proved -> Verdict.Proved
+  | Cbq.Reachability.Falsified { depth; _ } -> Verdict.Falsified depth
+  | Cbq.Reachability.Out_of_budget { reason; _ } -> Verdict.Undecided reason
+
+let trace_of_cbq = function
+  | Cbq.Reachability.Falsified { trace; _ } -> trace
+  | Cbq.Reachability.Proved | Cbq.Reachability.Out_of_budget _ -> None
+
+let engines ?(config = default_config) () =
+  let cbq_config = { Cbq.Reachability.default with make_trace = config.make_trace } in
+  [
+    {
+      name = "cbq-bwd";
+      run =
+        (fun ~limits m ->
+          let r = Cbq.Reachability.run ~config:cbq_config ~limits m in
+          (of_cbq r.Cbq.Reachability.verdict, trace_of_cbq r.Cbq.Reachability.verdict));
+    };
+    {
+      name = "cbq-fwd";
+      run =
+        (fun ~limits m ->
+          let r = Cbq.Forward.run ~config:cbq_config ~limits m in
+          (of_cbq r.Cbq.Reachability.verdict, trace_of_cbq r.Cbq.Reachability.verdict));
+    };
+    {
+      name = "bdd-bwd";
+      run = (fun ~limits m -> ((Bdd_mc.backward ~limits m).Bdd_mc.verdict, None));
+    };
+    {
+      name = "bdd-fwd";
+      run = (fun ~limits m -> ((Bdd_mc.forward ~limits m).Bdd_mc.verdict, None));
+    };
+    {
+      name = "bmc";
+      run =
+        (fun ~limits m ->
+          let r = Bmc.run ~max_depth:config.bmc_depth ~limits m in
+          (r.Bmc.verdict, r.Bmc.trace));
+    };
+    {
+      name = "induction";
+      run =
+        (fun ~limits m ->
+          let r = Induction.run ~max_k:config.induction_k ~limits m in
+          (r.Induction.verdict, r.Induction.trace));
+    };
+    {
+      name = "cofactor";
+      run =
+        (fun ~limits m -> ((Cofactor_preimage.run ~limits m).Cofactor_preimage.verdict, None));
+    };
+    { name = "hybrid"; run = (fun ~limits m -> ((Hybrid.run ~limits m).Hybrid.verdict, None)) };
+  ]
+
+let names = List.map (fun e -> e.name) (engines ())
+
+let find ?config name = List.find_opt (fun e -> e.name = name) (engines ?config ())

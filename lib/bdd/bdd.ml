@@ -16,7 +16,14 @@ type t = {
   unique : (int * int * int, int) Hashtbl.t;
   cache : (int * int * int * int, int) Hashtbl.t;
   mutable limit : int; (* max total nodes; max_int when unlimited *)
+  (* Called every [poll_interval] fresh allocations so long-running
+     constructions stay interruptible (the callback escapes by raising);
+     [ignore] when nobody is watching. *)
+  mutable poll : unit -> unit;
+  mutable poll_fuel : int;
 }
+
+let poll_interval = 4096
 
 let create ?(initial_capacity = 1024) () =
   let t =
@@ -27,6 +34,8 @@ let create ?(initial_capacity = 1024) () =
       unique = Hashtbl.create initial_capacity;
       cache = Hashtbl.create initial_capacity;
       limit = max_int;
+      poll = ignore;
+      poll_fuel = poll_interval;
     }
   in
   let push_terminal () =
@@ -63,6 +72,11 @@ let mk t v lo hi =
     | None ->
       let n = num_nodes t in
       if n >= t.limit then raise Node_limit;
+      t.poll_fuel <- t.poll_fuel - 1;
+      if t.poll_fuel <= 0 then begin
+        t.poll_fuel <- poll_interval;
+        t.poll ()
+      end;
       Util.Vec_int.push t.vars v;
       Util.Vec_int.push t.lows lo;
       Util.Vec_int.push t.highs hi;
@@ -271,16 +285,25 @@ let eval t n env =
   let rec go n = if n = zero then false else if n = one then true else go (if env (var_of t n) then high t n else low t n) in
   go n
 
-let with_limit t ~max_nodes f =
-  let saved = t.limit in
+let with_limit t ?poll ~max_nodes f =
+  let saved_limit = t.limit in
+  let saved_poll = t.poll in
   t.limit <- max_nodes;
+  (match poll with Some p -> t.poll <- p | None -> ());
+  let restore () =
+    t.limit <- saved_limit;
+    t.poll <- saved_poll
+  in
   match f () with
   | r ->
-    t.limit <- saved;
+    restore ();
     Ok r
   | exception Node_limit ->
-    t.limit <- saved;
+    restore ();
     Error `Node_limit
+  | exception e ->
+    restore ();
+    raise e
 
 let pp t ppf n =
   let rec go ppf n =

@@ -85,9 +85,14 @@ val eval : t -> node -> (var -> bool) -> bool
 
 (** {1 Node quota} *)
 
-(** [with_limit t ~max_nodes f] runs [f ()] allowing the manager to grow to
-    at most [max_nodes] total nodes; returns [Error `Node_limit] if the
-    quota is hit (the manager stays usable, the quota is lifted). *)
-val with_limit : t -> max_nodes:int -> (unit -> 'a) -> ('a, [ `Node_limit ]) result
+(** [with_limit t ?poll ~max_nodes f] runs [f ()] allowing the manager to
+    grow to at most [max_nodes] total nodes; returns [Error `Node_limit]
+    if the quota is hit (the manager stays usable, the quota is lifted).
+    [poll], when given, is invoked every few thousand fresh allocations so
+    an external governor can interrupt a single long construction — it
+    escapes by raising ([Node_limit] maps to [Error `Node_limit], anything
+    else propagates after the quota is restored). *)
+val with_limit :
+  t -> ?poll:(unit -> unit) -> max_nodes:int -> (unit -> 'a) -> ('a, [ `Node_limit ]) result
 
 val pp : t -> Format.formatter -> node -> unit

@@ -262,3 +262,72 @@ let tmr ~bits =
   connect_word b shadow r0;
   B.set_property b (Arith.equal aig voted shadow);
   B.finish b
+
+(* full adder with the mirror association: sum = a xor (b xor cin)
+   instead of (a xor b) xor cin, carry = a&b | cin&(a xor b) instead of
+   the majority form — semantically Arith.full_adder, structurally
+   disjoint from it *)
+let full_adder_alt aig a b_ cin =
+  let axb = Aig.xor_ aig a b_ in
+  let sum = Aig.xor_ aig a (Aig.xor_ aig b_ cin) in
+  let carry = Aig.or_ aig (Aig.and_ aig a b_) (Aig.and_ aig cin axb) in
+  (sum, carry)
+
+let add_alt aig xs ys =
+  let cin = ref Aig.false_ in
+  let sum =
+    List.map2
+      (fun x y ->
+        let s, c = full_adder_alt aig x y !cin in
+        cin := c;
+        s)
+      xs ys
+  in
+  sum
+
+let mult_cmp ?(bug = false) ~bits () =
+  let b = B.create (Printf.sprintf "mult-%s%d" (if bug then "bug" else "cmp") bits) in
+  let aig = B.aig b in
+  let xin = List.init bits (fun _ -> B.input b) in
+  let yin = List.init bits (fun _ -> B.input b) in
+  (* operand registers load a fresh value every cycle, so every operand
+     pair is reachable and the property is purely combinational depth *)
+  let xs = B.latches b ~init:false bits in
+  let ys = B.latches b ~init:false bits in
+  connect_word b xs xin;
+  connect_word b ys yin;
+  let xl = Array.of_list xs and yl = Array.of_list ys in
+  let width = 2 * bits in
+  let partial row =
+    List.init width (fun c ->
+        let k = c - row in
+        if k >= 0 && k < bits then Aig.and_ aig yl.(row) xl.(k) else Aig.false_)
+  in
+  (* the same array-multiplier middle bit accumulated twice, once with
+     Arith's full adders and once with the mirror-association form: the
+     partial products strash to shared nodes and every intermediate
+     sum/carry has a semantically equal twin one trivial SAT query away,
+     so sweeping collapses the miter bottom-up — while any BDD of the
+     cone is the classic multiplier blow-up *)
+  let mid ~alt =
+    let acc = ref (List.init width (fun _ -> Aig.false_)) in
+    for row = 0 to bits - 1 do
+      let p = partial row in
+      let p =
+        (* with [bug], the alternate build drops the partial product
+           feeding the middle column directly: the two mids then differ on
+           many operand pairs, every one a depth-1 counterexample *)
+        if bug && alt && row = bits / 2 then
+          List.mapi (fun c l -> if c = bits - 1 then Aig.false_ else l) p
+        else p
+      in
+      let sum =
+        if alt then add_alt aig !acc p else fst (Arith.add aig !acc p ~cin:Aig.false_)
+      in
+      acc := sum
+    done;
+    List.nth !acc (bits - 1)
+  in
+  let m1 = mid ~alt:false and m2 = mid ~alt:true in
+  B.set_property b (Aig.not_ (Aig.xor_ aig m1 m2));
+  B.finish b

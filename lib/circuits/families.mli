@@ -72,3 +72,15 @@ val johnson : bits:int -> Netlist.Model.t
     the three replicated cones make it the merge-heaviest sequential
     family. *)
 val tmr : bits:int -> Netlist.Model.t
+
+(** [mult_cmp ~bits ()] — two structurally different accumulations (two
+    full-adder associations) of the middle output bit of a
+    [bits]×[bits] array multiplier over registered free operands;
+    property: the two builds agree. Safe by construction. The multiplier
+    cone makes every BDD of the bad states blow up, while the pairwise
+    equivalent intermediate sums keep it SAT-sweep-friendly — the
+    portfolio's BDD-adversarial family. With [~bug:true] the alternate
+    build drops one partial product, so the builds disagree on many
+    operand pairs: unsafe, shortest counterexample 1 step — the SAT
+    engines falsify it instantly while the BDD engines still drown. *)
+val mult_cmp : ?bug:bool -> bits:int -> unit -> Netlist.Model.t

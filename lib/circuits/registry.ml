@@ -108,6 +108,20 @@ let all =
       make = (fun n -> Families.tmr ~bits:n);
       status = (fun _ -> Safe);
     };
+    {
+      name = "mult-cmp";
+      description = "two builds of a multiplier middle bit agree";
+      default_param = 6;
+      make = (fun n -> Families.mult_cmp ~bits:n ());
+      status = (fun _ -> Safe);
+    };
+    {
+      name = "mult-bug";
+      description = "multiplier middle-bit build with a dropped partial product";
+      default_param = 8;
+      make = (fun n -> Families.mult_cmp ~bug:true ~bits:n ());
+      status = (fun _ -> Unsafe 1);
+    };
   ]
 
 let find name = List.find_opt (fun e -> e.name = name) all

@@ -75,51 +75,26 @@ let compatible a b =
   | Baselines.Verdict.Proved, Baselines.Verdict.Falsified _
   | Baselines.Verdict.Falsified _, Baselines.Verdict.Proved -> false
 
-let of_cbq = function
-  | Cbq.Reachability.Proved -> Baselines.Verdict.Proved
-  | Cbq.Reachability.Falsified { depth; _ } -> Baselines.Verdict.Falsified depth
-  | Cbq.Reachability.Out_of_budget { reason; _ } -> Baselines.Verdict.Undecided reason
-
-let cbq_trace = function
-  | Cbq.Reachability.Falsified { trace; _ } -> trace
-  | Cbq.Reachability.Proved | Cbq.Reachability.Out_of_budget _ -> None
-
 (* each engine verifies its own clone: engines grow the model's AIG
    manager, and a shared manager would let one engine's nodes perturb the
    next engine's heuristics *)
-let clone m = Netlist.Aiger.read ~name:(Netlist.Model.name m) (Netlist.Aiger.write m)
+let clone = Par.Clone.model
+
+(* the engine table itself lives in Baselines.Suite, shared with the
+   portfolio racer; the oracle only maps its config onto the suite's *)
+let suite_config config =
+  {
+    Baselines.Suite.bmc_depth = config.bmc_depth;
+    induction_k = config.induction_k;
+    make_trace = config.check_traces;
+  }
 
 let engines config =
-  let cbq_config = { Cbq.Reachability.default with make_trace = config.check_traces } in
-  [
-    ( "cbq-bwd",
-      fun ~limits m ->
-        let r = Cbq.Reachability.run ~config:cbq_config ~limits m in
-        (of_cbq r.Cbq.Reachability.verdict, cbq_trace r.Cbq.Reachability.verdict) );
-    ( "cbq-fwd",
-      fun ~limits m ->
-        let r = Cbq.Forward.run ~config:cbq_config ~limits m in
-        (of_cbq r.Cbq.Reachability.verdict, cbq_trace r.Cbq.Reachability.verdict) );
-    ( "bdd-bwd",
-      fun ~limits m -> ((Baselines.Bdd_mc.backward ~limits m).Baselines.Bdd_mc.verdict, None) );
-    ( "bdd-fwd",
-      fun ~limits m -> ((Baselines.Bdd_mc.forward ~limits m).Baselines.Bdd_mc.verdict, None) );
-    ( "bmc",
-      fun ~limits m ->
-        let r = Baselines.Bmc.run ~max_depth:config.bmc_depth ~limits m in
-        (r.Baselines.Bmc.verdict, r.Baselines.Bmc.trace) );
-    ( "induction",
-      fun ~limits m ->
-        let r = Baselines.Induction.run ~max_k:config.induction_k ~limits m in
-        (r.Baselines.Induction.verdict, r.Baselines.Induction.trace) );
-    ( "cofactor",
-      fun ~limits m ->
-        ((Baselines.Cofactor_preimage.run ~limits m).Baselines.Cofactor_preimage.verdict, None) );
-    ( "hybrid",
-      fun ~limits m -> ((Baselines.Hybrid.run ~limits m).Baselines.Hybrid.verdict, None) );
-  ]
+  List.map
+    (fun (e : Baselines.Suite.engine) -> (e.name, e.run))
+    (Baselines.Suite.engines ~config:(suite_config config) ())
 
-let engine_names = List.map fst (engines default_config)
+let engine_names = Baselines.Suite.names
 
 type engine_outcome = {
   verdict : Baselines.Verdict.t;

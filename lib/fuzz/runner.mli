@@ -21,7 +21,17 @@ type result = { count : int; failures : failure_report list }
 (** [run ~seed ~count ()] generates and oracle-checks [count] models.
     [on_model i model_seed] fires before model [i] runs (progress hook).
     Failures are shrunk (unless [shrink:false]) and persisted to
-    [corpus_dir] when given. *)
+    [corpus_dir] when given.
+
+    [jobs > 1] shards the campaign indices across that many domains
+    (worker [w] checks and shrinks indices [w], [w+jobs], …). Per-model
+    seeds come from {!Gen.derive_seed}, so every index generates the same
+    model at any [jobs]; corpus writes are funnelled through the calling
+    domain in index order after all shards join, so the failure list and
+    the corpus on disk are identical to a sequential campaign's. The only
+    parallel-mode differences: [on_model] fires from worker domains
+    (serialized by a mutex, not in index order), and wall-clock interleaving
+    of the [fuzz.*] counters. *)
 val run :
   ?knobs:Gen.knobs ->
   ?config:Oracle.config ->
@@ -29,6 +39,7 @@ val run :
   ?shrink:bool ->
   ?max_shrink_candidates:int ->
   ?on_model:(int -> int -> unit) ->
+  ?jobs:int ->
   seed:int ->
   count:int ->
   unit ->

@@ -10,12 +10,14 @@ let obs_deadline = Registry.counter "limits.exhausted.deadline"
 let obs_conflicts = Registry.counter "limits.exhausted.conflicts"
 let obs_aig = Registry.counter "limits.exhausted.aig_nodes"
 let obs_bdd = Registry.counter "limits.exhausted.bdd_nodes"
+let obs_cancelled = Registry.counter "limits.exhausted.cancelled"
 
 let resource_counter = function
   | Util.Limits.Deadline -> obs_deadline
   | Util.Limits.Conflicts -> obs_conflicts
   | Util.Limits.Aig_nodes -> obs_aig
   | Util.Limits.Bdd_nodes -> obs_bdd
+  | Util.Limits.Cancelled -> obs_cancelled
 
 (* stable resource encoding for the trace-instant argument *)
 let resource_index = function
@@ -23,6 +25,7 @@ let resource_index = function
   | Util.Limits.Conflicts -> 1
   | Util.Limits.Aig_nodes -> 2
   | Util.Limits.Bdd_nodes -> 3
+  | Util.Limits.Cancelled -> 4
 
 let arm l =
   Util.Limits.set_notify l (fun r ->

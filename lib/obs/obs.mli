@@ -24,9 +24,12 @@
     metadata and report assembly go through one registry mutex. The
     disabled guard stays a single unsynchronized load — flipping
     {!enabled} while other domains record is a benign race. The
-    timeline trace ({!Trace_events}) is the exception: its ring buffer
-    is single-domain, record only from the domain that owns the run
-    (the {!Sampler} obeys this by replaying its series from {!Sampler.stop}).
+    timeline trace ({!Trace_events}) records from any domain: the ring
+    serializes on one mutex and stamps every event with the emitting
+    domain's id, so each domain renders as its own Chrome-trace lane
+    ([tid]) instead of interleaving into one broken nest.
+    {!Trace_events.reset} and the export calls remain owner-domain
+    operations — quiesce worker domains first.
 
     The report schema is documented in [docs/OBSERVABILITY.md]; this
     module is its single source of truth. *)
@@ -212,8 +215,8 @@ module Trace_events : sig
 
   (** [sample_at ts name v] records a counter sample at an explicit
       timestamp (from {!timestamp_us}) — how the resource sampler
-      replays points captured on another domain into the
-      single-domain ring. Must be called from the tracing domain. *)
+      replays points captured on another domain after the fact (the
+      export re-sorts them into place). *)
   val sample_at : float -> string -> int -> unit
 
   (** [with_phase name f] wraps [f ()] in a begin/end pair (closed on
@@ -228,6 +231,9 @@ module Trace_events : sig
         (** microseconds since the trace epoch; non-decreasing in recording
             order except for {!sample_at} replays, which carry their
             capture-time timestamps (the export re-sorts) *)
+    ev_tid : int;
+        (** id of the emitting domain, exported as the Chrome [tid] — each
+            domain of a portfolio race or sweep pool gets its own lane *)
     ev_arg_key : string;  (** [""] when the event carries no argument *)
     ev_arg_value : int;
   }
@@ -456,7 +462,10 @@ module Regress : sig
   (** The [cbq-bench-regress] command line, in-process: diff the two
       trees named by [argv] and return the exit status — 0 within
       thresholds, 1 on a regression, 2 on a usage error or unreadable
-      directory. The delta listing and verdict go to [out] (default
+      directory. [--only=PREFIX] (repeatable) narrows the diff to
+      flattened metric names under the given prefixes, for benches that
+      mix deterministic row counters with scheduling-dependent library
+      counters. The delta listing and verdict go to [out] (default
       stdout); usage and diagnostics go to [err] (default stderr). *)
   val main : ?out:Format.formatter -> ?err:Format.formatter -> string array -> int
 end

@@ -277,13 +277,15 @@ let main ?(out = Format.std_formatter) ?(err = Format.err_formatter) argv =
   let exception Quit of int in
   let usage () =
     Format.fprintf err
-      "usage: cbq-bench-regress OLD_DIR NEW_DIR [--threshold=REL] [--time-threshold=REL]@.";
+      "usage: cbq-bench-regress OLD_DIR NEW_DIR [--threshold=REL] [--time-threshold=REL] \
+       [--only=PREFIX]@.";
     raise (Quit 2)
   in
   try
     let dirs = ref [] in
     let threshold = ref 0.1 in
     let time_threshold = ref None in
+    let only : string list ref = ref [] in
     let float_arg name s =
       match float_of_string_opt s with
       | Some f when f >= 0.0 -> f
@@ -301,6 +303,7 @@ let main ?(out = Format.std_formatter) ?(err = Format.err_formatter) argv =
             (match key with
             | "--threshold" -> threshold := float_arg key value
             | "--time-threshold" -> time_threshold := Some (float_arg key value)
+            | "--only" -> only := value :: !only
             | _ -> usage ())
           | _ -> (
             match arg with
@@ -321,6 +324,20 @@ let main ?(out = Format.std_formatter) ?(err = Format.err_formatter) argv =
       with Sys_error msg ->
         Format.fprintf err "cbq-bench-regress: %s@." msg;
         raise (Quit 2)
+    in
+    (* --only narrows the diff to metrics under the given prefixes, so a
+       bench mixing deterministic row counters with scheduling-dependent
+       library counters (e.g. how far a cancelled racer got) can gate
+       just the former *)
+    let outcome =
+      match !only with
+      | [] -> outcome
+      | prefixes ->
+        let keep d = List.exists (fun p -> String.starts_with ~prefix:p d.metric) prefixes in
+        {
+          outcome with
+          pairs = List.map (fun p -> { p with deltas = List.filter keep p.deltas }) outcome.pairs;
+        }
     in
     let threshold = !threshold and time_threshold = !time_threshold in
     Format.fprintf out "%a" (pp_outcome ~threshold ~time_threshold) outcome;

@@ -16,7 +16,15 @@
    recorded the ring overwrites the oldest. Begin/end pairs broken by
    the overwrite are repaired at export time (orphaned ends are dropped,
    unclosed begins are closed at the final timestamp), so the emitted
-   JSON always nests properly. *)
+   JSON always nests properly.
+
+   Domains: every event is stamped with the id of the domain that
+   emitted it, exported as the Chrome-trace [tid] — each domain of a
+   portfolio race or sweep pool renders as its own lane instead of the
+   events interleaving into one broken nest. Recording serializes on
+   one mutex (the enabled path was already a handful of array stores;
+   the disabled path stays a single load and branch, lock-free and
+   allocation-free). Balance repair at export is per-lane. *)
 
 let enabled = ref false
 
@@ -24,6 +32,7 @@ type event = {
   ev_name : string;
   ev_ph : char; (* 'B' begin | 'E' end | 'i' instant | 'C' counter sample *)
   ev_ts : float; (* microseconds since the trace epoch, non-decreasing *)
+  ev_tid : int; (* id of the emitting domain *)
   ev_arg_key : string; (* "" when the event carries no argument *)
   ev_arg_value : int;
 }
@@ -35,6 +44,7 @@ let initial_capacity = 1024
 let names = ref (Array.make 0 "")
 let phs = ref (Bytes.create 0)
 let tss = ref (Array.make 0 0.0)
+let tids = ref (Array.make 0 0)
 let arg_keys = ref (Array.make 0 "")
 let arg_vals = ref (Array.make 0 0)
 let capacity = ref 0
@@ -42,6 +52,10 @@ let size_limit = ref default_limit
 let total = ref 0 (* events ever recorded since the last reset *)
 let epoch = ref (Util.Stopwatch.start ())
 let last_ts = ref 0.0
+
+(* serializes the enabled recording path across domains; the disabled
+   path never touches it *)
+let lock = Mutex.create ()
 
 let reset ?limit () =
   (match limit with
@@ -52,6 +66,7 @@ let reset ?limit () =
   names := Array.make 0 "";
   phs := Bytes.create 0;
   tss := Array.make 0 0.0;
+  tids := Array.make 0 0;
   arg_keys := Array.make 0 "";
   arg_vals := Array.make 0 0;
   capacity := 0;
@@ -81,6 +96,7 @@ let grow () =
     copy (fun n -> Array.make n "") (fun o f n -> Array.blit o 0 f 0 n) !names;
   phs := copy Bytes.create (fun o f n -> Bytes.blit o 0 f 0 n) !phs;
   tss := copy (fun n -> Array.make n 0.0) (fun o f n -> Array.blit o 0 f 0 n) !tss;
+  tids := copy (fun n -> Array.make n 0) (fun o f n -> Array.blit o 0 f 0 n) !tids;
   arg_keys :=
     copy (fun n -> Array.make n "") (fun o f n -> Array.blit o 0 f 0 n) !arg_keys;
   arg_vals :=
@@ -92,28 +108,29 @@ let grow () =
    is kept for closing unbalanced begins at export time. *)
 let timestamp_us () = Util.Stopwatch.elapsed !epoch *. 1e6
 
-let now_us () =
-  let t = timestamp_us () in
-  last_ts := t;
-  t
-
-(* the unguarded recorder with an explicit timestamp: the resource
-   sampler replays its time-series as counter rows after the fact, at
-   the timestamps the samples were actually taken *)
+(* the recorder with an explicit timestamp: the resource sampler
+   replays its time-series as counter rows after the fact, at the
+   timestamps the samples were actually taken. Serialized on [lock] so
+   racing domains never tear a slot; the emitting domain's id is
+   stamped as the event's lane. *)
 let record_ts name ph key v ts =
+  let tid = (Domain.self () :> int) in
+  Mutex.lock lock;
   if !total >= !capacity && !capacity < !size_limit then grow ();
   let i = !total mod !size_limit in
   !names.(i) <- name;
   Bytes.set !phs i ph;
   !tss.(i) <- ts;
+  !tids.(i) <- tid;
   if ts > !last_ts then last_ts := ts;
   !arg_keys.(i) <- key;
   !arg_vals.(i) <- v;
-  total := !total + 1
+  total := !total + 1;
+  Mutex.unlock lock
 
 (* the unguarded recorder: every public entry point checks [enabled]
    before calling, keeping the disabled path allocation-free *)
-let record name ph key v = record_ts name ph key v (now_us ())
+let record name ph key v = record_ts name ph key v (timestamp_us ())
 
 let begin_ name = if !enabled then record name 'B' "" 0
 let begin_args name key v = if !enabled then record name 'B' key v
@@ -135,17 +152,23 @@ let retained () = min !total !size_limit
 
 (* oldest-first snapshot of the ring *)
 let events () =
+  Mutex.lock lock;
   let n = retained () in
   let first = if !total <= !size_limit then 0 else !total mod !size_limit in
-  List.init n (fun k ->
-      let i = (first + k) mod !size_limit in
-      {
-        ev_name = !names.(i);
-        ev_ph = Bytes.get !phs i;
-        ev_ts = !tss.(i);
-        ev_arg_key = !arg_keys.(i);
-        ev_arg_value = !arg_vals.(i);
-      })
+  let evs =
+    List.init n (fun k ->
+        let i = (first + k) mod !size_limit in
+        {
+          ev_name = !names.(i);
+          ev_ph = Bytes.get !phs i;
+          ev_ts = !tss.(i);
+          ev_tid = !tids.(i);
+          ev_arg_key = !arg_keys.(i);
+          ev_arg_value = !arg_vals.(i);
+        })
+  in
+  Mutex.unlock lock;
+  evs
 
 let category name =
   match String.index_opt name '.' with Some i -> String.sub name 0 i | None -> name
@@ -158,7 +181,7 @@ let event_json e =
       ("ph", Json.String (String.make 1 e.ev_ph));
       ("ts", Json.Float e.ev_ts);
       ("pid", Json.Int 1);
-      ("tid", Json.Int 1);
+      ("tid", Json.Int e.ev_tid);
     ]
   in
   let base = if e.ev_ph = 'i' then base @ [ ("s", Json.String "t") ] else base in
@@ -180,21 +203,24 @@ let event_json e =
 (* Ring wraparound can orphan duration events: an 'E' whose 'B' was
    overwritten, or a 'B' whose 'E' was never recorded (exporting
    mid-run). Repair instead of emitting broken nesting: orphaned ends
-   are dropped, unclosed begins are closed at the last timestamp. *)
+   are dropped, unclosed begins are closed at the last timestamp.
+   Balance is per lane — each domain nests independently, so an end
+   from one domain must never pop a begin from another. *)
 let balanced_events () =
   let evs = events () in
-  let stack = ref [] in
+  let stacks : (int, event list) Hashtbl.t = Hashtbl.create 4 in
+  let stack_of tid = Option.value (Hashtbl.find_opt stacks tid) ~default:[] in
   let keep =
     List.filter
       (fun e ->
         match e.ev_ph with
         | 'B' ->
-          stack := e :: !stack;
+          Hashtbl.replace stacks e.ev_tid (e :: stack_of e.ev_tid);
           true
         | 'E' -> (
-          match !stack with
+          match stack_of e.ev_tid with
           | _ :: rest ->
-            stack := rest;
+            Hashtbl.replace stacks e.ev_tid rest;
             true
           | [] -> false)
         | _ -> true)
@@ -202,9 +228,13 @@ let balanced_events () =
   in
   let final_ts = !last_ts in
   let closers =
-    List.map
-      (fun b -> { b with ev_ph = 'E'; ev_ts = final_ts; ev_arg_key = ""; ev_arg_value = 0 })
-      !stack
+    Hashtbl.fold
+      (fun _ stack acc ->
+        List.map
+          (fun b -> { b with ev_ph = 'E'; ev_ts = final_ts; ev_arg_key = ""; ev_arg_value = 0 })
+          stack
+        @ acc)
+      stacks []
   in
   keep @ closers
 

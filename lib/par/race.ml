@@ -1,0 +1,83 @@
+let obs_races = Obs.counter "par.race.runs"
+let obs_entrants = Obs.counter "par.race.entrants"
+let obs_decided = Obs.counter "par.race.decided"
+let obs_cancelled = Obs.counter "par.race.cancelled"
+let obs_skipped = Obs.counter "par.race.skipped"
+let obs_crashed = Obs.counter "par.race.crashed"
+
+type 'a entrant = { name : string; limits : Util.Limits.t; run : unit -> 'a }
+type 'a status = Finished of 'a | Skipped | Crashed of string
+
+type 'a outcome = {
+  winner : (string * 'a) option;
+  results : 'a status array;
+  seconds : float;
+}
+
+let run ?jobs ~decisive entrants =
+  let arr = Array.of_list entrants in
+  let n = Array.length arr in
+  let jobs = max 1 (min (Option.value jobs ~default:n) n) in
+  let watch = Util.Stopwatch.start () in
+  Obs.incr obs_races;
+  Obs.add obs_entrants n;
+  Obs.Trace_events.begin_args "par.race" "entrants" n;
+  (* each slot is written by exactly one worker; read after the join *)
+  let results = Array.make n Skipped in
+  let winner = Atomic.make None in
+  let stop = Atomic.make false in
+  let next = Atomic.make 0 in
+  let cancel_losers ~except =
+    Array.iteri
+      (fun i e ->
+        if i <> except && e.limits != Util.Limits.unlimited then begin
+          Util.Limits.cancel e.limits;
+          Obs.incr obs_cancelled
+        end)
+      arr
+  in
+  let worker () =
+    let continue = ref true in
+    while !continue do
+      let i = Atomic.fetch_and_add next 1 in
+      if i >= n then continue := false
+      else if Atomic.get stop then () (* stays Skipped *)
+      else begin
+        let e = arr.(i) in
+        Obs.Trace_events.begin_ e.name;
+        let st =
+          match e.run () with
+          | v -> Finished v
+          | exception exn ->
+            Obs.incr obs_crashed;
+            Crashed (Printexc.to_string exn)
+        in
+        Obs.Trace_events.end_ e.name;
+        results.(i) <- st;
+        match st with
+        | Finished v when decisive v ->
+          (* first decisive finisher wins; everyone else is told to stop *)
+          if Atomic.compare_and_set winner None (Some (i, v)) then begin
+            Atomic.set stop true;
+            cancel_losers ~except:i
+          end
+        | Finished _ | Skipped | Crashed _ -> ()
+      end
+    done
+  in
+  let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join domains;
+  Array.iter (function Skipped -> Obs.incr obs_skipped | _ -> ()) results;
+  let winner =
+    match Atomic.get winner with
+    | Some (i, v) ->
+      Obs.incr obs_decided;
+      Some (arr.(i).name, v)
+    | None -> None
+  in
+  let seconds = Util.Stopwatch.elapsed watch in
+  Obs.Trace_events.end_args "par.race"
+    (match winner with Some _ -> "decided" | None -> "undecided")
+    (match winner with Some _ -> 1 | None -> 0);
+  { winner; results; seconds }

@@ -1,0 +1,39 @@
+(** First-decisive-wins racing with cooperative cancellation.
+
+    The portfolio scheduler: run competing entrants on a pool of
+    domains, stop the race the moment one returns a {e decisive} value,
+    and cancel everyone else by tripping their {!Util.Limits} governor
+    from the winning domain ({!Util.Limits.cancel}). Cancellation is
+    cooperative — a cancelled entrant keeps running until its next
+    governor checkpoint (frame boundary, SAT poll) and then returns its
+    own anytime value, which is reported as its result; entrants the
+    pool never started remain [Skipped].
+
+    Each entrant must carry its {e own} governor (never
+    [Util.Limits.unlimited], which cannot be cancelled) and must not
+    share mutable state with any other entrant — clone models with
+    {!Clone} first. *)
+
+type 'a entrant = {
+  name : string;
+  limits : Util.Limits.t;  (** cancelled when another entrant wins *)
+  run : unit -> 'a;
+}
+
+type 'a status =
+  | Finished of 'a  (** ran to completion — possibly after cancellation *)
+  | Skipped  (** the race was decided before a domain picked it up *)
+  | Crashed of string  (** raised; the exception text *)
+
+type 'a outcome = {
+  winner : (string * 'a) option;
+      (** the first decisive finisher, by wall-clock completion *)
+  results : ('a status) array;  (** by entrant index *)
+  seconds : float;
+}
+
+(** [run ~jobs ~decisive entrants] races the entrants on up to [jobs]
+    domains (clamped to the entrant count; default: one domain per
+    entrant). A crash is never decisive. When no decisive value
+    arrives, every entrant runs to completion and [winner] is [None]. *)
+val run : ?jobs:int -> decisive:('a -> bool) -> 'a entrant list -> 'a outcome

@@ -1123,10 +1123,13 @@ let solve_raw ?(assumptions = []) ?(conflict_limit = max_int) ?(limits = Util.Li
           status := Some Unknown
         end
         else if
-          (* periodic deadline poll; cadence keeps the clock read off
-             the propagation fast path *)
+          (* periodic deadline/cancellation poll; cadence keeps the
+             clock read off the propagation fast path. Unconditional
+             (not gated on [limited]): an unbudgeted governor can still
+             be tripped from another domain via [Limits.cancel], and a
+             racing solver must notice promptly *)
           (incr polls;
-           limited && !polls land 1023 = 0 && Util.Limits.check limits <> None)
+           !polls land 1023 = 0 && Util.Limits.check limits <> None)
         then begin
           exit_keep ();
           status := Some Unknown

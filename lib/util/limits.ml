@@ -1,4 +1,4 @@
-type resource = Deadline | Conflicts | Aig_nodes | Bdd_nodes
+type resource = Deadline | Conflicts | Aig_nodes | Bdd_nodes | Cancelled
 
 (* Domain-safe: the pools are atomics drained with fetch-and-add, the
    sticky trip is a CAS whose winner fires the notify hook exactly once.
@@ -45,12 +45,19 @@ let resource_name = function
   | Conflicts -> "conflict pool"
   | Aig_nodes -> "aig node ceiling"
   | Bdd_nodes -> "bdd node pool"
+  | Cancelled -> "cancelled"
 
 let pp_resource ppf r = Format.pp_print_string ppf (resource_name r)
 
 let trip t r =
   if Atomic.get t.tripped = None && Atomic.compare_and_set t.tripped None (Some r) then
     t.notify r
+
+(* [unlimited] is a process-wide shared constant: cancelling it would
+   poison every unbudgeted run in the process, so refuse loudly *)
+let cancel t =
+  if t == unlimited then invalid_arg "Limits.cancel: cannot cancel the shared unlimited governor";
+  trip t Cancelled
 
 let check t =
   (match (Atomic.get t.tripped, t.deadline) with

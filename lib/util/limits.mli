@@ -32,7 +32,7 @@
     atomic). {!set_notify} is the one exception — install the hook
     before the governor is shared with other domains. *)
 
-type resource = Deadline | Conflicts | Aig_nodes | Bdd_nodes
+type resource = Deadline | Conflicts | Aig_nodes | Bdd_nodes | Cancelled
 
 type t
 
@@ -71,6 +71,17 @@ val check_aig_nodes : t -> int -> resource option
     hitting the governor's node cap). First trip wins; later calls are
     no-ops. *)
 val trip : t -> resource -> unit
+
+(** [cancel t] trips [Cancelled]: the cooperative cross-domain stop
+    signal. Safe to call from any domain at any time — the portfolio
+    scheduler cancels every losing engine's governor the moment a
+    winner returns, and the running engine notices at its next
+    checkpoint (the SAT solver polls every 1024 search steps even on
+    otherwise-unbudgeted governors, so a racing solve returns
+    [Unknown] promptly). Like every fatal trip it is sticky and
+    idempotent. Raises [Invalid_argument] on {!unlimited} — the shared
+    constant must never be poisoned. *)
+val cancel : t -> unit
 
 (** {2 The SAT-conflict pool} *)
 

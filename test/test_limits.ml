@@ -81,6 +81,65 @@ let test_first_trip_wins_and_notify_fires_once () =
   check int "notify fired exactly once" 1 (List.length !fired);
   check bool "notify saw the first resource" true (!fired = [ Util.Limits.Deadline ])
 
+(* ---------- cancellation ---------- *)
+
+let test_cancel_trips_and_sticks () =
+  let l = Util.Limits.create () in
+  check bool "fresh governor is clean" true (Util.Limits.check l = None);
+  Util.Limits.cancel l;
+  check bool "cancel trips" true (Util.Limits.exhausted l = Some Util.Limits.Cancelled);
+  Util.Limits.cancel l;
+  check bool "idempotent and sticky" true (Util.Limits.exhausted l = Some Util.Limits.Cancelled);
+  check string "resource name" "cancelled" (Util.Limits.resource_name Util.Limits.Cancelled)
+
+let test_cancel_does_not_displace_first_trip () =
+  let l = Util.Limits.create ~timeout:0.0 () in
+  ignore (Util.Limits.check l);
+  Util.Limits.cancel l;
+  check bool "first trip wins over cancel" true
+    (Util.Limits.exhausted l = Some Util.Limits.Deadline)
+
+let test_cancel_unlimited_refused () =
+  match Util.Limits.cancel Util.Limits.unlimited with
+  | () -> Alcotest.fail "cancelling the shared unlimited governor must raise"
+  | exception Invalid_argument _ ->
+    check bool "unlimited stays clean" true (Util.Limits.exhausted Util.Limits.unlimited = None)
+
+(* the cross-domain contract: a solver racing on another domain abandons
+   its search promptly once its governor is cancelled from here *)
+let test_cancel_stops_racing_solver () =
+  (* pigeonhole PHP(12,11): exponentially hard for CDCL, so without the
+     cancel this solve would outlive the whole suite. The governor has
+     no caps at all — only the cancel hook can stop it. *)
+  let pigeons = 12 and holes = 11 in
+  let s = Sat.Solver.create () in
+  let var = Array.init pigeons (fun _ -> Array.init holes (fun _ -> Sat.Solver.new_var s)) in
+  for p = 0 to pigeons - 1 do
+    ignore (Sat.Solver.add_clause s (List.init holes (fun h -> Sat.Lit.pos var.(p).(h))))
+  done;
+  for h = 0 to holes - 1 do
+    for p1 = 0 to pigeons - 1 do
+      for p2 = p1 + 1 to pigeons - 1 do
+        ignore
+          (Sat.Solver.add_clause s [ Sat.Lit.neg_of var.(p1).(h); Sat.Lit.neg_of var.(p2).(h) ])
+      done
+    done
+  done;
+  let limits = Util.Limits.create () in
+  let result = Atomic.make None in
+  let d = Domain.spawn (fun () -> Atomic.set result (Some (Sat.Solver.solve ~limits s))) in
+  Unix.sleepf 0.05;
+  Util.Limits.cancel limits;
+  let watch = Util.Stopwatch.start () in
+  Domain.join d;
+  let latency = Util.Stopwatch.elapsed watch in
+  check bool "cancelled solve answers Unknown" true
+    (Atomic.get result = Some Sat.Solver.Unknown);
+  (* the solver polls the governor every 1024 search iterations, so the
+     reaction is microseconds; the generous bound absorbs scheduling
+     noise on a loaded single-core CI box *)
+  check bool "returns promptly after the cancel" true (latency < 5.0)
+
 (* ---------- budgeted SAT queries ---------- *)
 
 let test_checker_shortcuts_to_maybe () =
@@ -292,6 +351,15 @@ let () =
           Alcotest.test_case "bdd pool is non-fatal" `Quick test_bdd_pool_is_non_fatal;
           Alcotest.test_case "first trip wins, notify fires once" `Quick
             test_first_trip_wins_and_notify_fires_once;
+        ] );
+      ( "cancel",
+        [
+          Alcotest.test_case "cancel trips and sticks" `Quick test_cancel_trips_and_sticks;
+          Alcotest.test_case "first trip wins over cancel" `Quick
+            test_cancel_does_not_displace_first_trip;
+          Alcotest.test_case "unlimited refuses cancel" `Quick test_cancel_unlimited_refused;
+          Alcotest.test_case "cancel stops a racing solver" `Quick
+            test_cancel_stops_racing_solver;
         ] );
       ( "sat",
         [

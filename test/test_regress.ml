@@ -340,6 +340,22 @@ let test_cli_regression_exits_one () =
   let code, _, _ = run_cli [ old_dir; new_dir; "--threshold=2.0" ] in
   check int "threshold flag honoured" 0 code
 
+let test_cli_only_prefix_filters () =
+  (* --only gates just the named metric namespace: the gated row counter
+     still fails, while noise outside the prefix stops gating *)
+  with_two_dirs @@ fun old_dir new_dir ->
+  write_json old_dir "001-row.json" (report ~counters:[ ("row.a", 100); ("noise.b", 100) ] ());
+  write_json new_dir "001-row.json" (report ~counters:[ ("row.a", 100); ("noise.b", 900) ] ());
+  let code, out, _ = run_cli [ old_dir; new_dir; "--only=counters.row." ] in
+  check int "out-of-prefix delta does not gate" 0 code;
+  check bool "filtered delta not listed" true (not (contains out "noise.b"));
+  let code, _, _ = run_cli [ old_dir; new_dir ] in
+  check int "same pair gates without --only" 1 code;
+  write_json new_dir "001-row.json" (report ~counters:[ ("row.a", 400); ("noise.b", 900) ] ());
+  let code, out, _ = run_cli [ old_dir; new_dir; "--only=counters.row." ] in
+  check int "in-prefix delta still gates" 1 code;
+  check bool "gated metric listed" true (contains out "row.a")
+
 let () =
   Alcotest.run "regress"
     [
@@ -386,5 +402,6 @@ let () =
             test_cli_schema_window_diffs_clean;
           Alcotest.test_case "meta mismatch header" `Quick test_cli_meta_mismatch_header;
           Alcotest.test_case "regression exits 1" `Quick test_cli_regression_exits_one;
+          Alcotest.test_case "--only prefix filter" `Quick test_cli_only_prefix_filters;
         ] );
     ]
