@@ -334,8 +334,12 @@ let emit_stats ~stats ~stats_json ~store ~model ~engine ~watch ~limits outcome =
   | None -> ());
   match store with
   | Some dir ->
+    (* snapshot before opening the store: the store's own index/catchup
+       bookkeeping counters depend on the directory's history, not on
+       this run, and would read as drift under `report trend` *)
+    let report = Obs.report () in
     let st = Obs.Store.open_ dir in
-    let entry = Obs.Store.append st (Obs.report ()) in
+    let entry = Obs.Store.append st report in
     Format.printf "store: appended run %d to %s@." entry.Obs.Store.id dir
   | None -> ()
 
@@ -906,6 +910,247 @@ let report_cmd =
   Cmd.group (Cmd.info "report" ~doc)
     [ report_list_cmd; report_show_cmd; report_diff_cmd; report_trend_cmd ]
 
+(* ---------- serve / submit / batch / ctl ----------
+
+   The persistent job daemon (docs/SERVE.md) and its clients. The
+   daemon schedules submitted models on a worker-domain pool; clients
+   talk newline-delimited JSON over a Unix or TCP socket. *)
+
+let address_conv =
+  let parse s =
+    if String.length s >= 4 && String.sub s 0 4 = "tcp:" then begin
+      let rest = String.sub s 4 (String.length s - 4) in
+      match String.rindex_opt rest ':' with
+      | None -> Error (`Msg "tcp address must be tcp:HOST:PORT")
+      | Some i -> (
+        let host = String.sub rest 0 i in
+        let host = if host = "" then "127.0.0.1" else host in
+        match int_of_string_opt (String.sub rest (i + 1) (String.length rest - i - 1)) with
+        | Some port when port >= 0 -> Ok (Serve.Protocol.Tcp (host, port))
+        | Some _ | None -> Error (`Msg (Printf.sprintf "bad port in %S" s)))
+    end
+    else begin
+      let path =
+        if String.length s >= 5 && String.sub s 0 5 = "unix:" then
+          String.sub s 5 (String.length s - 5)
+        else s
+      in
+      if path = "" then Error (`Msg "empty socket path") else Ok (Serve.Protocol.Unix_path path)
+    end
+  in
+  Arg.conv (parse, Serve.Protocol.pp_address)
+
+let serve_listen_arg =
+  Arg.(
+    value
+    & opt address_conv (Serve.Protocol.Unix_path "cbq-mc.sock")
+    & info [ "listen" ] ~docv:"ADDR"
+        ~doc:
+          "listen address: $(b,unix:)PATH (default $(b,unix:cbq-mc.sock)) or \
+           $(b,tcp:)HOST:PORT (port 0 picks a free port, printed at startup)")
+
+let connect_arg =
+  Arg.(
+    value
+    & opt address_conv (Serve.Protocol.Unix_path "cbq-mc.sock")
+    & info [ "connect" ] ~docv:"ADDR"
+        ~doc:"daemon address: $(b,unix:)PATH (default $(b,unix:cbq-mc.sock)) or $(b,tcp:)HOST:PORT")
+
+let serve_engine_arg =
+  Arg.(
+    value & opt string "cbq-bwd"
+    & info [ "e"; "engine" ] ~docv:"ENGINE"
+        ~doc:
+          (Printf.sprintf "engine to run on the server: %s"
+             (String.concat " | " Baselines.Suite.names)))
+
+let budget_of timeout max_conflicts max_aig_nodes max_bdd_nodes =
+  { Serve.Protocol.timeout; max_conflicts; max_aig_nodes; max_bdd_nodes }
+
+let serve_cmd =
+  let doc = "run the persistent model-checking job daemon" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Accepts jobs (AIGER model + engine + budget) over a Unix or TCP socket, schedules \
+         them on a pool of worker domains, streams per-job lifecycle events back to each \
+         client, and appends one run report per completed job to the store given with \
+         $(b,--store) (query it with $(b,cbq-mc report)). The budget flags set a per-job \
+         ceiling: client budgets are capped against it, and a resource a client leaves \
+         unlimited inherits the ceiling. Protocol schema: docs/SERVE.md.";
+    ]
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"worker domains (default: the machine's recommended domain count)")
+  in
+  let run listen jobs store stats timeout max_conflicts max_aig_nodes max_bdd_nodes =
+    if stats then begin
+      Obs.reset ();
+      Obs.set_enabled true
+    end;
+    let ceiling = budget_of timeout max_conflicts max_aig_nodes max_bdd_nodes in
+    let store = Option.map Obs.Store.open_ store in
+    let server =
+      try Serve.Server.start ?jobs ~ceiling ?store listen
+      with Unix.Unix_error (e, _, arg) ->
+        Format.eprintf "cbq-mc serve: cannot listen on %a: %s (%s)@." Serve.Protocol.pp_address
+          listen (Unix.error_message e) arg;
+        exit 2
+    in
+    let workers =
+      (Serve.Scheduler.stats (Serve.Server.scheduler server)).Serve.Scheduler.workers
+    in
+    Format.printf "serve: listening on %a (%d workers)@." Serve.Protocol.pp_address
+      (Serve.Server.address server) workers;
+    Serve.Server.wait server;
+    Format.printf "serve: drained and stopped@.";
+    if stats then Format.printf "%a" Obs.pp_summary ()
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc ~man)
+    Term.(
+      const run $ serve_listen_arg $ jobs_arg $ store_opt_arg $ stats_arg $ timeout_arg
+      $ max_conflicts_arg $ max_aig_nodes_arg $ max_bdd_nodes_arg)
+
+let connect_client address =
+  try Serve.Client.connect address
+  with Unix.Unix_error (e, _, _) ->
+    Format.eprintf "cbq-mc: cannot connect to %a: %s@." Serve.Protocol.pp_address address
+      (Unix.error_message e);
+    exit 2
+
+let print_outcome name = function
+  | Serve.Client.Finished { verdict; seconds; report; progress; _ } ->
+    Format.printf "%s: %s (%.3fs, %d progress frames%s)@." name
+      (match verdict with
+      | Baselines.Verdict.Proved -> "PROVED"
+      | Baselines.Verdict.Falsified d -> Printf.sprintf "FALSIFIED at depth %d" d
+      | Baselines.Verdict.Undecided r -> Printf.sprintf "UNDECIDED (%s)" r)
+      seconds progress
+      (match report with Some r -> Printf.sprintf ", report %d" r | None -> "");
+    true
+  | Serve.Client.Crashed { message; _ } ->
+    Format.printf "%s: FAILED on the server: %s@." name message;
+    false
+  | Serve.Client.Refused { reason } ->
+    Format.printf "%s: REJECTED: %s@." name reason;
+    false
+
+let submit_cmd =
+  let doc = "submit one job to a running daemon and wait for the verdict" in
+  let run connect circuit param aag engine progress timeout max_conflicts max_aig_nodes
+      max_bdd_nodes =
+    let model, _status = load_model circuit param aag in
+    let spec =
+      {
+        Serve.Client.tag = "cli";
+        model_name = Netlist.Model.name model;
+        aig = Netlist.Aiger.write model;
+        engine;
+        budget = budget_of timeout max_conflicts max_aig_nodes max_bdd_nodes;
+      }
+    in
+    let client = connect_client connect in
+    let on_event =
+      if progress then function
+        | Serve.Protocol.Progress { frame; nodes; _ } ->
+          Format.eprintf "frame %d: %d nodes@." frame nodes
+        | _ -> ()
+      else fun _ -> ()
+    in
+    let outcome =
+      try Serve.Client.submit_wait ~on_event client spec
+      with Serve.Client.Server_closed msg ->
+        Format.eprintf "cbq-mc submit: %s@." msg;
+        exit 2
+    in
+    Serve.Client.close client;
+    if not (print_outcome (Netlist.Model.name model) outcome) then exit 1
+  in
+  Cmd.v (Cmd.info "submit" ~doc)
+    Term.(
+      const run $ connect_arg $ circuit_arg $ param_arg $ aag_arg $ serve_engine_arg
+      $ progress_arg $ timeout_arg $ max_conflicts_arg $ max_aig_nodes_arg $ max_bdd_nodes_arg)
+
+let batch_cmd =
+  let doc = "submit every AIGER file in a directory to a running daemon" in
+  let dir_arg =
+    Arg.(
+      required
+      & pos 0 (some dir) None
+      & info [] ~docv:"DIR" ~doc:"directory of .aag/.aig model files")
+  in
+  let run connect dir engine timeout max_conflicts max_aig_nodes max_bdd_nodes =
+    let files =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".aag" || Filename.check_suffix f ".aig")
+      |> List.sort compare
+    in
+    if files = [] then begin
+      Format.eprintf "cbq-mc batch: no .aag/.aig files in %s@." dir;
+      exit 2
+    end;
+    let budget = budget_of timeout max_conflicts max_aig_nodes max_bdd_nodes in
+    let specs =
+      List.map
+        (fun f ->
+          let model = Netlist.Aiger.read_file (Filename.concat dir f) in
+          {
+            Serve.Client.tag = f;
+            model_name = Filename.remove_extension f;
+            aig = Netlist.Aiger.write model;
+            engine;
+            budget;
+          })
+        files
+    in
+    let client = connect_client connect in
+    let outcomes = Serve.Client.run_batch client specs in
+    Serve.Client.close client;
+    let ok = ref 0 in
+    List.iter2 (fun f o -> if print_outcome f o then incr ok) files outcomes;
+    Format.printf "batch: %d/%d jobs finished@." !ok (List.length files);
+    if !ok < List.length files then exit 1
+  in
+  Cmd.v (Cmd.info "batch" ~doc)
+    Term.(
+      const run $ connect_arg $ dir_arg $ serve_engine_arg $ timeout_arg $ max_conflicts_arg
+      $ max_aig_nodes_arg $ max_bdd_nodes_arg)
+
+let ctl_cmd =
+  let doc = "control a running daemon: ping, stats or shutdown" in
+  let action_arg =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("ping", `Ping); ("stats", `Stats); ("shutdown", `Shutdown) ])) None
+      & info [] ~docv:"ACTION" ~doc:"ping | stats | shutdown")
+  in
+  let run connect action =
+    let client = connect_client connect in
+    (try
+       match action with
+       | `Ping ->
+         Serve.Client.ping client;
+         Format.printf "pong@."
+       | `Stats ->
+         let queued, running, completed, workers = Serve.Client.stats client in
+         Format.printf "queued=%d running=%d completed=%d workers=%d@." queued running completed
+           workers
+       | `Shutdown ->
+         Serve.Client.shutdown_server client;
+         Format.printf "server stopped@."
+     with Serve.Client.Server_closed msg ->
+       Format.eprintf "cbq-mc ctl: %s@." msg;
+       exit 2);
+    Serve.Client.close client
+  in
+  Cmd.v (Cmd.info "ctl" ~doc) Term.(const run $ connect_arg $ action_arg)
+
 let () =
   let doc = "circuit-based quantification model checker (DATE'05 reproduction)" in
   let info = Cmd.info "cbq-mc" ~version:"1.0.0" ~doc in
@@ -915,5 +1160,5 @@ let () =
        (Cmd.group ~default:run_term info
           [
             list_cmd; run_cmd; export_cmd; reduce_cmd; quantify_cmd; cec_cmd; fuzz_cmd; sat_cmd;
-            report_cmd;
+            report_cmd; serve_cmd; submit_cmd; batch_cmd; ctl_cmd;
           ]))

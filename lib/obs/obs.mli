@@ -273,8 +273,18 @@ module Progress : sig
       armed. *)
   val begin_run : unit -> unit
 
-  (** Notification from the traversal engines; a no-op unless armed. *)
+  (** Notification from the traversal engines; a no-op unless armed.
+      Independently of the stderr reporter, an installed {!set_listener}
+      hook receives every notification. *)
   val frame : index:int -> nodes:int -> unit
+
+  (** Install (or clear) a cross-domain frame listener: called on every
+      {!frame} notification with the emitting domain's id, whether or
+      not the stderr reporter is armed. The serve scheduler uses this to
+      stream per-frame progress events to the client that owns the job
+      running on that domain. The hook itself must be domain-safe — it
+      is invoked from whichever domain runs the traversal. *)
+  val set_listener : (domain:int -> index:int -> nodes:int -> unit) option -> unit
 
   (** Terminate the in-place line and disarm. *)
   val finish : unit -> unit
@@ -355,8 +365,10 @@ module Store : sig
     verdict : string;
   }
 
-  (** Open (creating the directory if needed), validating the index
-      against the data file and rebuilding it when stale. *)
+  (** Open (creating the directory if needed): the indexed prefix is
+      adopted from [index.json], the unindexed tail of the data file is
+      scanned, and a missing or inconsistent index triggers a full
+      rebuild — all under the store's inter-process lock. *)
   val open_ : string -> t
 
   val dir : t -> string
@@ -364,9 +376,22 @@ module Store : sig
   (** All indexed runs, oldest first. *)
   val entries : t -> entry list
 
-  (** Append a report (stamping [stored_at] into its meta first) and
-      update the index atomically. *)
+  (** Append a report (stamping [stored_at] into its meta first). The
+      data line is written immediately; the meta index is rewritten on
+      a doubling schedule (O(1) amortized per append — N appends
+      serialize O(N) index entries in total), so it may lag the data
+      file until {!flush} or the next rewrite point. Appends take an
+      exclusive [Unix.lockf] lock on the store directory and re-sync
+      against the file first, so concurrent processes sharing one store
+      (a serve daemon plus CLI runs) interleave safely with unique
+      ids. *)
   val append : t -> Json.t -> entry
+
+  (** Write the index now if it lags the data file. Call at daemon
+      shutdown or after a batch of appends; opening a store with a
+      lagging index is still correct (the unindexed tail is scanned),
+      just marginally slower. *)
+  val flush : t -> unit
 
   (** Load one stored report by id. *)
   val load : t -> int -> (entry * Json.t, string) result

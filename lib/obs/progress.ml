@@ -45,7 +45,19 @@ let emit line =
   end
   else Printf.fprintf !out "%s\n%!" line
 
-let frame ~index ~nodes = if !active then emit (render ~index ~nodes)
+(* Cross-domain frame listener: the serve scheduler routes frame
+   notifications to the client whose job runs on the emitting domain.
+   An atomic so installation from the scheduler races benignly with
+   notifications from worker domains. *)
+let listener : (domain:int -> index:int -> nodes:int -> unit) option Atomic.t = Atomic.make None
+
+let set_listener f = Atomic.set listener f
+
+let frame ~index ~nodes =
+  (match Atomic.get listener with
+  | Some f -> f ~domain:(Domain.self () :> int) ~index ~nodes
+  | None -> ());
+  if !active then emit (render ~index ~nodes)
 
 (* Traversal engines notify here at run entry: without it, back-to-back
    runs in one process (bench rows, tests) would report elapsed times

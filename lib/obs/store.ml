@@ -4,13 +4,29 @@
    verdict, stored_at per run) that makes [cbq_mc report list/trend]
    cheap — listing never parses report bodies.
 
-   The data file is the source of truth. The index records the data
-   length it was built against; on open, a stale or missing index is
-   rebuilt by scanning the JSONL. A torn tail (the process died
-   mid-append, or the file was truncated) is repaired during the
-   rebuild: the file is cut back to the last line that parses, and
-   everything before it is re-indexed. Index writes are atomic
-   (tmp + rename), so a crash never leaves a half-written index. *)
+   The data file is the source of truth. The index is allowed to lag
+   behind it: appends rewrite it on a doubling schedule (whenever the
+   unindexed tail outgrows the indexed prefix), so N appends serialize
+   O(N) index entries in total — O(1) amortized per append — instead of
+   re-serializing the whole index every time. On open, the indexed
+   prefix is trusted and only the unindexed tail is scanned; a missing
+   or inconsistent index triggers a full rebuild. A torn tail (the
+   process died mid-append, or the file was truncated) is repaired
+   during the scan: the file is cut back to the last line that parses.
+   Index writes are atomic (tmp + rename), so a crash never leaves a
+   half-written index.
+
+   Concurrency. Writers can race from different processes — a serve
+   daemon appending job reports while a `cbq_mc run --store DIR`
+   appends its own, or two CLI runs — so every append, rebuild and
+   by-offset load holds an [Unix.lockf] advisory lock on [DIR/.lock]
+   (exclusive for mutation, shared for reads). An append re-syncs the
+   in-memory view against the file under the lock before writing, so
+   ids stay unique and offsets correct no matter how many processes
+   share the directory. The lock is per-process (fcntl semantics):
+   sharing one [t] between domains of one process still needs external
+   serialization (the serve scheduler funnels appends through a
+   mutex). *)
 
 type entry = {
   id : int; (* 1-based position in the data file *)
@@ -26,17 +42,40 @@ type t = {
   dir : string;
   data_path : string;
   index_path : string;
-  mutable entries : entry list; (* oldest first *)
+  lock_fd : Unix.file_descr;
+  mutable rev_entries : entry list; (* newest first *)
+  mutable count : int;
+  mutable last_id : int;
   mutable data_length : int;
+  mutable indexed_count : int; (* entries covered by the on-disk index *)
 }
 
 let index_version = 1
 
 let data_file = "runs.jsonl"
 let index_file = "index.json"
+let lock_file = ".lock"
+
+let obs_appends = Registry.counter "store.appends"
+let obs_index_writes = Registry.counter "store.index.writes"
+let obs_index_entries = Registry.counter "store.index.entries"
+let obs_rebuilds = Registry.counter "store.rebuilds"
+let obs_catchup = Registry.counter "store.catchup_lines"
 
 let dir t = t.dir
-let entries t = t.entries
+let entries t = List.rev t.rev_entries
+
+(* ---------- advisory locking ---------- *)
+
+(* [lockf] locks hang off the dedicated [lock_fd], whose offset never
+   moves, so the whole file is covered ([len = 0]). Exclusive for
+   anything that may write or truncate; shared for by-offset reads. *)
+let with_lock_kind kind t f =
+  Unix.lockf t.lock_fd kind 0;
+  Fun.protect ~finally:(fun () -> Unix.lockf t.lock_fd Unix.F_ULOCK 0) f
+
+let with_lock t f = with_lock_kind Unix.F_LOCK t f
+let with_read_lock t f = with_lock_kind Unix.F_RLOCK t f
 
 let meta_string report key =
   match Option.bind (Json.member "meta" report) (Json.member key) with
@@ -73,7 +112,7 @@ let index_json t =
     [
       ("store_version", Json.Int index_version);
       ("data_length", Json.Int t.data_length);
-      ("entries", Json.List (List.map entry_json t.entries));
+      ("entries", Json.List (List.rev_map entry_json t.rev_entries));
     ]
 
 let write_index t =
@@ -82,7 +121,15 @@ let write_index t =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (Json.to_string (index_json t)));
-  Sys.rename tmp t.index_path
+  Sys.rename tmp t.index_path;
+  t.indexed_count <- t.count;
+  Registry.incr obs_index_writes;
+  Registry.add obs_index_entries t.count
+
+(* The doubling schedule: rewrite once the unindexed tail outgrows the
+   indexed prefix. Rewrites land at counts 1, 3, 7, 15, … so the total
+   entries serialized over N appends is < 2N. *)
+let index_due t = t.count - t.indexed_count > t.indexed_count
 
 let entry_of_json j =
   let int key = match Json.member key j with Some (Json.Int i) -> Some i | _ -> None in
@@ -117,24 +164,28 @@ let read_index t =
           | es -> Some (len, es))
       | _ -> None)
 
-(* ---------- rebuild from the data file ---------- *)
+(* ---------- scanning the data file ---------- *)
 
 let data_size t = if Sys.file_exists t.data_path then (Unix.stat t.data_path).Unix.st_size else 0
 
-(* Scan the JSONL, indexing every line that parses. Stops at the first
-   line that does not parse or is not newline-terminated (a torn
-   append), truncates the file back to that point, and returns the
-   entries before it. *)
-let rebuild t =
-  let entries = ref [] in
-  let good_end = ref 0 in
+let push_entry t e =
+  t.rev_entries <- e :: t.rev_entries;
+  t.count <- t.count + 1;
+  t.last_id <- e.id
+
+(* Scan the JSONL from [offset], indexing every line that parses. Stops
+   at the first line that does not parse or is not newline-terminated (a
+   torn append) and truncates the file back to that point. Exclusive
+   lock required (it may truncate). *)
+let scan_from t ~offset =
+  let good_end = ref offset in
   if Sys.file_exists t.data_path then begin
     let ic = open_in_bin t.data_path in
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () ->
         let file_len = in_channel_length ic in
-        let id = ref 1 in
+        seek_in ic offset;
         let stop = ref false in
         while not !stop do
           let offset = pos_in ic in
@@ -148,34 +199,66 @@ let rebuild t =
               match Json.of_string line with
               | Error _ -> stop := true
               | Ok report ->
-                entries :=
-                  entry_of_report ~id:!id ~offset ~length:(String.length line) report
-                  :: !entries;
-                incr id;
+                push_entry t
+                  (entry_of_report ~id:(t.last_id + 1) ~offset ~length:(String.length line)
+                     report);
+                Registry.incr obs_catchup;
                 good_end := offset + String.length line + 1)
         done)
   end;
   if data_size t > !good_end then Unix.truncate t.data_path !good_end;
-  t.entries <- List.rev !entries;
-  t.data_length <- !good_end;
+  t.data_length <- !good_end
+
+(* Full rebuild: drop the in-memory view and re-scan from byte 0.
+   Exclusive lock required. *)
+let rebuild t =
+  Registry.incr obs_rebuilds;
+  t.rev_entries <- [];
+  t.count <- 0;
+  t.last_id <- 0;
+  t.indexed_count <- 0;
+  scan_from t ~offset:0;
   write_index t
+
+(* Bring the in-memory view up to date with the file — another process
+   may have appended (scan the new tail) or repaired/truncated it
+   (rebuild). Exclusive lock required. *)
+let resync t =
+  let size = data_size t in
+  if size < t.data_length then rebuild t
+  else if size > t.data_length then scan_from t ~offset:t.data_length
 
 let open_ dir =
   Util.Fs.mkdirs dir;
+  let lock_fd =
+    Unix.openfile (Filename.concat dir lock_file) [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_CLOEXEC ]
+      0o644
+  in
   let t =
     {
       dir;
       data_path = Filename.concat dir data_file;
       index_path = Filename.concat dir index_file;
-      entries = [];
+      lock_fd;
+      rev_entries = [];
+      count = 0;
+      last_id = 0;
       data_length = 0;
+      indexed_count = 0;
     }
   in
-  (match read_index t with
-  | Some (len, entries) when len = data_size t ->
-    t.entries <- entries;
-    t.data_length <- len
-  | Some _ | None -> rebuild t);
+  with_lock t (fun () ->
+      match read_index t with
+      | Some (len, entries) when len <= data_size t ->
+        t.rev_entries <- List.rev entries;
+        t.count <- List.length entries;
+        t.last_id <- (match t.rev_entries with [] -> 0 | e :: _ -> e.id);
+        t.data_length <- len;
+        t.indexed_count <- t.count;
+        (* catch up on the unindexed tail appended since the last index
+           write (possibly by another process) *)
+        resync t
+      | Some _ (* index ahead of the data: the file shrank *) | None -> rebuild t);
   t
 
 (* ---------- append / load / select ---------- *)
@@ -203,36 +286,49 @@ let stamp_stored_at report stamp =
 let append t report =
   let report = stamp_stored_at report (timestamp ()) in
   let line = Json.to_string report in
-  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 t.data_path in
-  let offset =
-    Fun.protect
-      ~finally:(fun () -> close_out oc)
-      (fun () ->
-        let offset = out_channel_length oc in
-        output_string oc line;
-        output_char oc '\n';
-        offset)
-  in
-  let id = (match t.entries with [] -> 0 | es -> (List.nth es (List.length es - 1)).id) + 1 in
-  let entry = entry_of_report ~id ~offset ~length:(String.length line) report in
-  t.entries <- t.entries @ [ entry ];
-  t.data_length <- offset + String.length line + 1;
-  write_index t;
-  entry
+  with_lock t (fun () ->
+      (* another process may have appended since we last looked: adopt
+         its runs first so our id and offset are correct *)
+      resync t;
+      let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 t.data_path in
+      let offset =
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            let offset = out_channel_length oc in
+            output_string oc line;
+            output_char oc '\n';
+            offset)
+      in
+      let entry = entry_of_report ~id:(t.last_id + 1) ~offset ~length:(String.length line) report in
+      push_entry t entry;
+      t.data_length <- offset + String.length line + 1;
+      Registry.incr obs_appends;
+      if index_due t then write_index t;
+      entry)
 
-let find t id = List.find_opt (fun e -> e.id = id) t.entries
+(* Persist the index now (daemon shutdown, end of a batch) instead of
+   waiting for the doubling schedule; the next open then catches up on
+   nothing. *)
+let flush t =
+  with_lock t (fun () ->
+      resync t;
+      if t.indexed_count < t.count then write_index t)
+
+let find t id = List.find_opt (fun e -> e.id = id) t.rev_entries
 
 let load t id =
   match find t id with
   | None -> Error (Printf.sprintf "store: no run with id %d" id)
   | Some e -> (
-    let ic = open_in_bin t.data_path in
     let line =
-      Fun.protect
-        ~finally:(fun () -> close_in ic)
-        (fun () ->
-          seek_in ic e.offset;
-          really_input_string ic e.length)
+      with_read_lock t (fun () ->
+          let ic = open_in_bin t.data_path in
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () ->
+              seek_in ic e.offset;
+              really_input_string ic e.length))
     in
     match Json.of_string line with
     | Ok report -> Ok (e, report)
@@ -244,10 +340,14 @@ let select ?model ?engine ?last t =
     (match model with None -> true | Some m -> e.model = m)
     && match engine with None -> true | Some eng -> e.engine = eng
   in
-  let hits = List.filter matches t.entries in
   match last with
-  | None -> hits
+  | None -> List.filter matches (entries t)
   | Some n when n <= 0 -> []
   | Some n ->
-    let len = List.length hits in
-    if len <= n then hits else List.filteri (fun i _ -> i >= len - n) hits
+    (* newest-first representation: take the window before reversing *)
+    let rec take k = function
+      | e :: rest when k > 0 ->
+        if matches e then e :: take (k - 1) rest else take k rest
+      | _ -> []
+    in
+    List.rev (take n t.rev_entries)

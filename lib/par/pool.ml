@@ -30,8 +30,12 @@ let map ~jobs f items =
             | v -> results.(i) <- Some v
             | exception exn ->
               (* first failure wins; drain the remaining indices so
-                 every worker terminates and can be joined *)
-              ignore (Atomic.compare_and_set failure None (Some exn));
+                 every worker terminates and can be joined. The raw
+                 backtrace is captured here, at the catch site — a bare
+                 [raise] after the join would report the join point,
+                 not the worker frame that actually failed *)
+              let bt = Printexc.get_raw_backtrace () in
+              ignore (Atomic.compare_and_set failure None (Some (exn, bt)));
               Atomic.set next n;
               continue := false
         done
@@ -41,7 +45,7 @@ let map ~jobs f items =
       worker ();
       List.iter Domain.join domains;
       match Atomic.get failure with
-      | Some exn -> raise exn
+      | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
       | None ->
         Array.map
           (function
@@ -62,9 +66,15 @@ let run_shards ~jobs f =
     Obs.incr obs_batches;
     Obs.add obs_domains (jobs - 1);
     let failures = Array.make jobs None in
-    let shard w = match f w with () -> () | exception exn -> failures.(w) <- Some exn in
+    let shard w =
+      match f w with
+      | () -> ()
+      | exception exn -> failures.(w) <- Some (exn, Printexc.get_raw_backtrace ())
+    in
     let domains = List.init (jobs - 1) (fun i -> Domain.spawn (fun () -> shard (i + 1))) in
     shard 0;
     List.iter Domain.join domains;
-    Array.iter (function Some exn -> raise exn | None -> ()) failures
+    Array.iter
+      (function Some (exn, bt) -> Printexc.raise_with_backtrace exn bt | None -> ())
+      failures
   end

@@ -1,0 +1,259 @@
+(* The daemon: accept loop + per-connection handler domains over the
+   shared {!Scheduler}.
+
+   Each connection gets its own handler domain reading NDJSON request
+   frames; events stream back under a per-connection write mutex, and
+   the [Accepted] reply to a [Submit] is written while that mutex is
+   still held across the scheduler enqueue — so a client always sees
+   [Accepted {tag; id}] before any [Started]/[Progress]/[Done] for that
+   id, even though workers emit from other domains.
+
+   Disconnect handling is the reason the daemon ignores SIGPIPE: a
+   client that vanishes mid-job must cost the pool nothing beyond the
+   next cancellation checkpoint. The default SIGPIPE disposition would
+   instead kill the whole server on the first write to the dead socket.
+   With the signal ignored, writes fail with [EPIPE]; the first failed
+   write (or EOF on the read side) marks the connection dead, drops
+   further events on the floor, and cancels every still-unfinished job
+   the connection submitted. *)
+
+let obs_connections = Obs.counter "serve.connections"
+let obs_disconnect_cancels = Obs.counter "serve.disconnect_cancels"
+let obs_protocol_errors = Obs.counter "serve.protocol_errors"
+
+(* Idempotent: first [start] in the process flips SIGPIPE to ignore.
+   Not available on Windows, but neither are Unix-domain sockets; the
+   repo's CI targets are POSIX. *)
+let ignore_sigpipe =
+  lazy (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ())
+
+type conn = {
+  fd : Unix.file_descr;
+  outc : out_channel;
+  wmutex : Mutex.t;
+  mutable dead : bool;
+  mutable jobs : int list; (* ids this connection submitted, newest first *)
+  jmutex : Mutex.t;
+}
+
+type t = {
+  scheduler : Scheduler.t;
+  address : Protocol.address; (* actual bound address (TCP port resolved) *)
+  listen_fd : Unix.file_descr;
+  unix_path : string option; (* to unlink at teardown *)
+  stop : bool Atomic.t;
+  handlers : (Unix.file_descr * unit Domain.t) list Atomic.t;
+  accept_domain : unit Domain.t option Atomic.t;
+  store : Obs.Store.t option;
+}
+
+let address t = t.address
+let scheduler t = t.scheduler
+
+let remember_job conn id =
+  Mutex.protect conn.jmutex (fun () -> conn.jobs <- id :: conn.jobs)
+
+let forget_job conn id =
+  Mutex.protect conn.jmutex (fun () -> conn.jobs <- List.filter (fun j -> j <> id) conn.jobs)
+
+let cancel_conn_jobs t conn =
+  let ids = Mutex.protect conn.jmutex (fun () -> conn.jobs) in
+  List.iter
+    (fun id ->
+      if Scheduler.cancel t.scheduler id then Obs.incr obs_disconnect_cancels)
+    ids
+
+(* Must never raise: called from worker domains deep inside job
+   completion. A write failure (EPIPE with SIGPIPE ignored, or a closed
+   channel) kills the connection instead. *)
+let send t conn event =
+  let became_dead =
+    Mutex.protect conn.wmutex (fun () ->
+        if conn.dead then false
+        else
+          try
+            output_string conn.outc (Protocol.event_to_line event);
+            output_char conn.outc '\n';
+            flush conn.outc;
+            false
+          with Sys_error _ | Unix.Unix_error _ ->
+            conn.dead <- true;
+            true)
+  in
+  if became_dead then cancel_conn_jobs t conn
+
+let handle_request t conn line =
+  match Protocol.request_of_line line with
+  | Error message ->
+    Obs.incr obs_protocol_errors;
+    send t conn (Protocol.Protocol_error { message });
+    `Continue
+  | Ok (Protocol.Submit { tag; model_name; aig; engine; budget }) ->
+    (* Hold the write mutex across enqueue + Accepted so no worker
+       event for this id can be written first. The emit closure routes
+       every later event through [send] (which re-takes the mutex from
+       its own domain). *)
+    Mutex.protect conn.wmutex (fun () ->
+        let result =
+          Scheduler.submit t.scheduler ~tag ~model_name ~aig ~engine ~budget
+            ~emit:(fun event ->
+              (match event with
+              | Protocol.Done { id; _ } | Protocol.Failed { id; _ } -> forget_job conn id
+              | _ -> ());
+              send t conn event)
+        in
+        (match result with
+        | Ok id -> remember_job conn id
+        | Error _ -> ());
+        if not conn.dead then begin
+          try
+            let reply =
+              match result with
+              | Ok id -> Protocol.Accepted { tag; id }
+              | Error reason -> Protocol.Rejected { tag; reason }
+            in
+            output_string conn.outc (Protocol.event_to_line reply);
+            output_char conn.outc '\n';
+            flush conn.outc
+          with Sys_error _ | Unix.Unix_error _ -> conn.dead <- true
+        end);
+    if conn.dead then cancel_conn_jobs t conn;
+    `Continue
+  | Ok (Protocol.Cancel { id }) ->
+    ignore (Scheduler.cancel t.scheduler id);
+    `Continue
+  | Ok Protocol.Ping ->
+    send t conn Protocol.Pong;
+    `Continue
+  | Ok Protocol.Stats ->
+    let s = Scheduler.stats t.scheduler in
+    send t conn
+      (Protocol.Stats_reply
+         {
+           queued = s.Scheduler.queued;
+           running = s.Scheduler.running;
+           completed = s.Scheduler.completed;
+           workers = s.Scheduler.workers;
+         });
+    `Continue
+  | Ok Protocol.Shutdown ->
+    send t conn Protocol.Bye;
+    Atomic.set t.stop true;
+    (* wake the accept loop out of its blocking [accept] *)
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ());
+    `Stop
+
+let handler t fd =
+  Obs.incr obs_connections;
+  let conn =
+    {
+      fd;
+      outc = Unix.out_channel_of_descr fd;
+      wmutex = Mutex.create ();
+      dead = false;
+      jobs = [];
+      jmutex = Mutex.create ();
+    }
+  in
+  let inc = Unix.in_channel_of_descr fd in
+  let rec loop () =
+    match input_line inc with
+    | exception (End_of_file | Sys_error _ | Unix.Unix_error _) -> ()
+    | line -> ( match handle_request t conn line with `Continue -> loop () | `Stop -> ())
+  in
+  loop ();
+  (* EOF or stop: whatever this client still has in flight is orphaned *)
+  Mutex.protect conn.wmutex (fun () -> conn.dead <- true);
+  cancel_conn_jobs t conn;
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ())
+
+let rec accept_loop t =
+  if not (Atomic.get t.stop) then begin
+    match Unix.accept ~cloexec:true t.listen_fd with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop t
+    | exception Unix.Unix_error _ -> () (* listener shut down *)
+    | fd, _peer ->
+      let d = Domain.spawn (fun () -> handler t fd) in
+      let rec push () =
+        let old = Atomic.get t.handlers in
+        if not (Atomic.compare_and_set t.handlers old ((fd, d) :: old)) then push ()
+      in
+      push ();
+      accept_loop t
+  end
+
+let bind_listener address =
+  match address with
+  | Protocol.Unix_path path ->
+    (* a stale socket file from a crashed daemon would make bind fail *)
+    (try if (Unix.lstat path).Unix.st_kind = Unix.S_SOCK then Unix.unlink path
+     with Unix.Unix_error _ -> ());
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64;
+    (fd, Protocol.Unix_path path, Some path)
+  | Protocol.Tcp (host, port) ->
+    let inet =
+      try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      with Not_found -> Unix.inet_addr_loopback
+    in
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (inet, port));
+    Unix.listen fd 64;
+    let bound =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> Protocol.Tcp (host, p) (* port 0 resolved *)
+      | _ -> Protocol.Tcp (host, port)
+    in
+    (fd, bound, None)
+
+let start ?jobs ?ceiling ?store address =
+  Lazy.force ignore_sigpipe;
+  let listen_fd, bound, unix_path = bind_listener address in
+  let scheduler = Scheduler.create ?jobs ?ceiling ?store () in
+  let t =
+    {
+      scheduler;
+      address = bound;
+      listen_fd;
+      unix_path;
+      stop = Atomic.make false;
+      handlers = Atomic.make [];
+      accept_domain = Atomic.make None;
+      store;
+    }
+  in
+  Atomic.set t.accept_domain (Some (Domain.spawn (fun () -> accept_loop t)));
+  t
+
+let stop t =
+  Atomic.set t.stop true;
+  (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+
+let wait t =
+  (match Atomic.get t.accept_domain with
+  | Some d ->
+    Domain.join d;
+    Atomic.set t.accept_domain None
+  | None -> ());
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (* drain first: queued jobs from still-connected clients complete and
+     stream their terminal events before their sockets go away *)
+  Scheduler.shutdown t.scheduler;
+  (* connections still reading would block their handler joins forever;
+     shutting the sockets down unblocks [input_line] with EOF *)
+  let handlers = Atomic.get t.handlers in
+  List.iter
+    (fun (fd, _) -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    handlers;
+  List.iter (fun (_, d) -> Domain.join d) handlers;
+  Atomic.set t.handlers [];
+  (match t.store with Some s -> (try Obs.Store.flush s with _ -> ()) | None -> ());
+  match t.unix_path with
+  | Some path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | None -> ()
+
+let run ?jobs ?ceiling ?store address =
+  let t = start ?jobs ?ceiling ?store address in
+  wait t

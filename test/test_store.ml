@@ -139,6 +139,104 @@ let test_garbage_line_recovery () =
   let reopened = Obs.Store.open_ dir in
   check int "scan stops at the first bad line" 1 (List.length (Obs.Store.entries reopened))
 
+(* The O(N^2) regression guard: N appends may serialize at most O(N)
+   index entries in total (the doubling schedule rewrites at counts
+   1, 3, 7, 15, ... — a geometric series summing below 2N), where the
+   old write-the-whole-index-every-append behaviour serialized
+   N(N+1)/2. The counters are deterministic, so this is an exact
+   load-test assertion, not a timing heuristic. *)
+let test_append_cost_amortized () =
+  with_dir @@ fun dir ->
+  Obs.reset ();
+  Obs.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.set_enabled false) @@ fun () ->
+  let n = 1000 in
+  let store = Obs.Store.open_ dir in
+  for i = 1 to n do
+    ignore (Obs.Store.append store (report ~conflicts:i ()))
+  done;
+  let writes = Obs.value_of "store.index.writes" in
+  let serialized = Obs.value_of "store.index.entries" in
+  check bool
+    (Printf.sprintf "index rewrites are logarithmic (%d for %d appends)" writes n)
+    true
+    (writes <= 12);
+  check bool
+    (Printf.sprintf "serialized index entries stay linear (%d for %d appends)" serialized n)
+    true
+    (serialized < 2 * n);
+  check int "every append landed" n (List.length (Obs.Store.entries store));
+  (* a lagging index is caught up by flush, and a cold reopen still
+     sees every run *)
+  Obs.Store.flush store;
+  let reopened = Obs.Store.open_ dir in
+  check int "reopen after flush" n (List.length (Obs.Store.entries reopened));
+  let ids = List.map (fun e -> e.Obs.Store.id) (Obs.Store.entries reopened) in
+  check (Alcotest.list int) "ids are dense and ordered" (List.init n (fun i -> i + 1)) ids
+
+(* Two processes interleaving appends into one store directory: the
+   [Unix.lockf] exclusive lock plus the resync-before-append makes ids
+   unique and every line intact. Without the lock the children race the
+   read-modify-write of the id counter and the test sees duplicate ids
+   or a torn data file. *)
+let test_two_process_interleaving () =
+  with_dir @@ fun dir ->
+  (* materialize the directory before forking so every child opens the
+     same store *)
+  ignore (Obs.Store.open_ dir);
+  let children = 4 and per_child = 25 in
+  let pids =
+    List.init children (fun c ->
+        match Unix.fork () with
+        | 0 ->
+          (* child: plain appends, exit without running at_exit (the
+             alcotest reporter belongs to the parent) *)
+          let status =
+            try
+              let store = Obs.Store.open_ dir in
+              for i = 1 to per_child do
+                ignore
+                  (Obs.Store.append store
+                     (report
+                        ~model:(Printf.sprintf "child%d" c)
+                        ~conflicts:((c * per_child) + i) ()))
+              done;
+              0
+            with _ -> 1
+          in
+          Unix._exit status
+        | pid -> pid)
+  in
+  List.iter
+    (fun pid ->
+      match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _, _ -> Alcotest.fail "a child appender crashed")
+    pids;
+  let store = Obs.Store.open_ dir in
+  let entries = Obs.Store.entries store in
+  let total = children * per_child in
+  check int "every append from every process landed" total (List.length entries);
+  let ids = List.map (fun e -> e.Obs.Store.id) entries in
+  check (Alcotest.list int) "ids are unique, dense and ordered" (List.init total (fun i -> i + 1))
+    ids;
+  (* every line must parse back: a torn interleaved write would lose
+     the tail behind it *)
+  List.iter
+    (fun e ->
+      match Obs.Store.load store e.Obs.Store.id with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.fail (Printf.sprintf "run %d unreadable: %s" e.Obs.Store.id msg))
+    entries;
+  (* per-child counts survived the interleaving *)
+  List.iter
+    (fun c ->
+      check int
+        (Printf.sprintf "child %d kept all its runs" c)
+        per_child
+        (List.length (Obs.Store.select ~model:(Printf.sprintf "child%d" c) store)))
+    (List.init children Fun.id)
+
 let () =
   Alcotest.run "store"
     [
@@ -150,5 +248,8 @@ let () =
           Alcotest.test_case "index rebuild after delete" `Quick test_index_rebuild_after_delete;
           Alcotest.test_case "truncated tail recovery" `Quick test_truncated_tail_recovery;
           Alcotest.test_case "garbage line stops the scan" `Quick test_garbage_line_recovery;
+          Alcotest.test_case "append cost is O(1) amortized" `Quick test_append_cost_amortized;
+          Alcotest.test_case "two processes interleave safely" `Quick
+            test_two_process_interleaving;
         ] );
     ]
