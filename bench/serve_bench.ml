@@ -119,7 +119,14 @@ let run_throughput () =
           | Starved ->
             (starved, "bmc", { Serve.Protocol.no_budget with max_conflicts = Some 1 })
         in
-        { Serve.Client.tag = Printf.sprintf "j%d" i; model_name; aig; engine; budget })
+        {
+          Serve.Client.tag = Printf.sprintf "j%d" i;
+          model_name;
+          aig;
+          engine;
+          budget;
+          quantify_backend = None;
+        })
   in
   let client = Serve.Client.connect (Serve.Server.address server) in
   let outcomes, dt = Util.Stopwatch.time (fun () -> Serve.Client.run_batch client specs) in
@@ -185,6 +192,7 @@ let run_cancel () =
            aig;
            engine = "cbq-bwd";
            budget = Serve.Protocol.no_budget;
+           quantify_backend = None;
          })
   done;
   let ids = ref [] in

@@ -61,23 +61,19 @@ let print_minimized model t =
     essential
 
 let run_engine ?(minimize = false) ?jobs ?(sweep_jobs = 1)
+    ?(quantify_backend = Cbq.Quantify.default.Cbq.Quantify.backend)
     ?(make_limits = fun () -> Util.Limits.create ()) ~limits engine model verbose trace_wanted =
   match engine with
   | Cbq_engine | Cbq_fwd ->
     let config = { Cbq.Reachability.default with make_trace = trace_wanted } in
-    let config =
-      if sweep_jobs <= 1 then config
-      else
-        {
-          config with
-          quant =
-            {
-              config.Cbq.Reachability.quant with
-              sweep =
-                { config.Cbq.Reachability.quant.Cbq.Quantify.sweep with sat_jobs = sweep_jobs };
-            };
-        }
+    let quant =
+      { config.Cbq.Reachability.quant with Cbq.Quantify.backend = quantify_backend }
     in
+    let quant =
+      if sweep_jobs <= 1 then quant
+      else { quant with Cbq.Quantify.sweep = { quant.Cbq.Quantify.sweep with sat_jobs = sweep_jobs } }
+    in
+    let config = { config with quant } in
     let r =
       if engine = Cbq_fwd then Cbq.Forward.run ~config ~limits model
       else Cbq.Reachability.run ~config ~limits model
@@ -152,7 +148,13 @@ let run_engine ?(minimize = false) ?jobs ?(sweep_jobs = 1)
        gets its own cancellable governor from [make_limits] so the
        winner can stop the losers without poisoning anything shared *)
     ignore limits;
-    let config = { Baselines.Suite.default_config with make_trace = trace_wanted } in
+    let config =
+      {
+        Baselines.Suite.default_config with
+        make_trace = trace_wanted;
+        quantify_backend;
+      }
+    in
     let r = Baselines.Portfolio.run ~config ?jobs ~make_limits model in
     Format.printf "%a@." Baselines.Portfolio.pp_result r;
     (match r.Baselines.Portfolio.trace with
@@ -210,6 +212,22 @@ let sweep_jobs_arg =
         ~doc:
           "domains for the sweeper's SAT-merge stage inside the cbq engines (docs/PARALLEL.md); \
            1 keeps the stage fully sequential")
+
+let quantify_backend_enum =
+  List.map
+    (fun name -> (name, Option.get (Cbq.Quantify.backend_of_string name)))
+    Cbq.Quantify.backend_names
+
+let quantify_backend_arg =
+  Arg.(
+    value
+    & opt (enum quantify_backend_enum) Cbq.Quantify.default.Cbq.Quantify.backend
+    & info [ "quantify-backend" ] ~docv:"BACKEND"
+        ~doc:
+          "quantifier-elimination backend for the cbq engines: $(b,circuit) (cofactor \
+           disjunction + circuit optimization), $(b,pqe) (CNF-level partial quantifier \
+           elimination by redundancy proving), or $(b,auto) (per-variable selector with \
+           cross-backend fallback, docs/ALGORITHMS.md); the non-CBQ engines ignore it")
 
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"per-iteration detail")
 let trace_arg = Arg.(value & flag & info [ "t"; "trace" ] ~doc:"print the counterexample trace")
@@ -313,10 +331,12 @@ let store_opt_arg =
 
 let engine_name engine = fst (List.find (fun (_, e) -> e = engine) engine_names)
 
-let emit_stats ~stats ~stats_json ~store ~model ~engine ~watch ~limits outcome =
+let emit_stats ~stats ~stats_json ~store ~model ~engine ~quantify_backend ~watch ~limits
+    outcome =
   Obs.meta "tool" "cbq-mc";
   Obs.meta "model" (Netlist.Model.name model);
   Obs.meta "engine" (engine_name engine);
+  Obs.meta "quantify_backend" (Cbq.Quantify.backend_name quantify_backend);
   Obs.meta "verdict"
     (match outcome with
     | `Proved -> "proved"
@@ -345,9 +365,9 @@ let emit_stats ~stats ~stats_json ~store ~model ~engine ~watch ~limits outcome =
 
 let run_cmd =
   let doc = "verify a circuit's safety property" in
-  let run circuit param aag engine jobs sweep_jobs verbose trace seq_sweep coi minimize stats
-      stats_json trace_json progress sample_interval store timeout max_conflicts max_aig_nodes
-      max_bdd_nodes =
+  let run circuit param aag engine jobs sweep_jobs quantify_backend verbose trace seq_sweep coi
+      minimize stats stats_json trace_json progress sample_interval store timeout max_conflicts
+      max_aig_nodes max_bdd_nodes =
     (* --progress reads the sweep merge counters, --sample-interval and
        --store record them, so all three need the registry live even
        without --stats *)
@@ -407,8 +427,8 @@ let run_cmd =
             Util.Limits.create ?timeout ?max_conflicts ?max_aig_nodes ?max_bdd_nodes ()
           in
           let outcome =
-            run_engine ~minimize ?jobs ~sweep_jobs ~make_limits ~limits engine model verbose
-              trace
+            run_engine ~minimize ?jobs ~sweep_jobs ~quantify_backend ~make_limits ~limits
+              engine model verbose trace
           in
           (model, status, outcome))
     in
@@ -417,7 +437,9 @@ let run_cmd =
       Format.printf "limits: %s exhausted after %.2fs@." (Util.Limits.resource_name r)
         (Util.Limits.elapsed limits)
     | None -> ());
-    if want_stats then emit_stats ~stats ~stats_json ~store ~model ~engine ~watch ~limits outcome;
+    if want_stats then
+      emit_stats ~stats ~stats_json ~store ~model ~engine ~quantify_backend ~watch ~limits
+        outcome;
     (match trace_json with
     | Some path ->
       Obs.Trace_events.set_enabled false;
@@ -446,9 +468,10 @@ let run_cmd =
   ( Cmd.info "run" ~doc,
     Term.(
       const run $ circuit_arg $ param_arg $ aag_arg $ engine_arg $ jobs_arg $ sweep_jobs_arg
-      $ verbose_arg $ trace_arg $ seq_sweep_arg $ coi_arg $ minimize_arg $ stats_arg
-      $ stats_json_arg $ trace_json_arg $ progress_arg $ sample_interval_arg $ store_opt_arg
-      $ timeout_arg $ max_conflicts_arg $ max_aig_nodes_arg $ max_bdd_nodes_arg) )
+      $ quantify_backend_arg $ verbose_arg $ trace_arg $ seq_sweep_arg $ coi_arg $ minimize_arg
+      $ stats_arg $ stats_json_arg $ trace_json_arg $ progress_arg $ sample_interval_arg
+      $ store_opt_arg $ timeout_arg $ max_conflicts_arg $ max_aig_nodes_arg
+      $ max_bdd_nodes_arg) )
 
 let run_term = snd run_cmd
 let run_cmd = Cmd.v (fst run_cmd) run_term
@@ -479,7 +502,7 @@ let quantify_cmd =
   let count_arg =
     Arg.(value & opt int 4 & info [ "k" ] ~docv:"K" ~doc:"number of variables to quantify")
   in
-  let run cone n k =
+  let run cone n k backend =
     match List.assoc_opt cone Circuits.Comb.catalogue with
     | None -> Format.printf "unknown cone %S@." cone
     | Some make ->
@@ -490,16 +513,18 @@ let quantify_cmd =
       let vars =
         List.filteri (fun i _ -> i < k) c.Circuits.Comb.vars
       in
-      Format.printf "cone %s: %d AND nodes, quantifying %d of %d variables@."
+      Format.printf "cone %s: %d AND nodes, quantifying %d of %d variables (%s backend)@."
         c.Circuits.Comb.name
         (Aig.size aig c.Circuits.Comb.root)
         (List.length vars)
-        (List.length c.Circuits.Comb.vars);
+        (List.length c.Circuits.Comb.vars)
+        (Cbq.Quantify.backend_name backend);
       let naive =
         Cbq.Quantify.all ~config:Cbq.Quantify.naive_config aig checker ~prng
           c.Circuits.Comb.root ~vars
       in
-      let full = Cbq.Quantify.all aig checker ~prng c.Circuits.Comb.root ~vars in
+      let config = { Cbq.Quantify.default with backend } in
+      let full = Cbq.Quantify.all ~config aig checker ~prng c.Circuits.Comb.root ~vars in
       Format.printf "naive Shannon: %d nodes; merged+optimized: %d nodes@."
         (Aig.size aig naive.Cbq.Quantify.lit)
         (Aig.size aig full.Cbq.Quantify.lit);
@@ -507,7 +532,8 @@ let quantify_cmd =
         (fun r -> Format.printf "  %a@." Cbq.Quantify.pp_var_report r)
         full.Cbq.Quantify.reports
   in
-  Cmd.v (Cmd.info "quantify" ~doc) Term.(const run $ cone_arg $ size_arg $ count_arg)
+  Cmd.v (Cmd.info "quantify" ~doc)
+    Term.(const run $ cone_arg $ size_arg $ count_arg $ quantify_backend_arg)
 
 (* ---------- reduce ---------- *)
 
@@ -595,6 +621,20 @@ let fuzz_cmd =
     Arg.(value & opt int Fuzz.Gen.default.Fuzz.Gen.cone_depth
          & info [ "cone-depth" ] ~docv:"D" ~doc:"maximum next-state cone depth")
   in
+  let shared_subcones_arg =
+    Arg.(value & opt float Fuzz.Gen.default.Fuzz.Gen.shared_subcones
+         & info [ "shared-subcones" ] ~docv:"P"
+             ~doc:
+               "probability of a mux-of-xor next-state cone over shared deep subcones (a \
+                PQE-trigger shape); 0 leaves the generator streams untouched")
+  in
+  let wide_support_arg =
+    Arg.(value & opt float Fuzz.Gen.default.Fuzz.Gen.wide_support
+         & info [ "wide-support" ] ~docv:"P"
+             ~doc:
+               "probability of a next-state cone ranging over the whole variable pool (a \
+                PQE support-cap trigger); 0 leaves the generator streams untouched")
+  in
   let corpus_arg =
     Arg.(value & opt (some string) None
          & info [ "corpus" ] ~docv:"DIR" ~doc:"write shrunk failing models into $(docv)")
@@ -618,8 +658,9 @@ let fuzz_cmd =
                "self-test: make the sweeper merge SAT-refuted pairs (a deliberate soundness \
                 bug) and confirm the oracles catch it")
   in
-  let run seed count max_latches max_inputs cone_depth corpus no_shrink jobs inject_fault stats
-      stats_json progress timeout max_conflicts max_aig_nodes max_bdd_nodes =
+  let run seed count max_latches max_inputs cone_depth shared_subcones wide_support corpus
+      no_shrink jobs inject_fault quantify_backend stats stats_json progress timeout
+      max_conflicts max_aig_nodes max_bdd_nodes =
     if stats || stats_json <> None || progress then begin
       Obs.reset ();
       Obs.set_enabled true
@@ -632,6 +673,8 @@ let fuzz_cmd =
         cone_depth;
         min_latches = min Fuzz.Gen.default.Fuzz.Gen.min_latches max_latches;
         min_inputs = min Fuzz.Gen.default.Fuzz.Gen.min_inputs max_inputs;
+        shared_subcones;
+        wide_support;
       }
     in
     (match Fuzz.Gen.validate_knobs knobs with
@@ -644,6 +687,7 @@ let fuzz_cmd =
         Fuzz.Oracle.default_config with
         Fuzz.Oracle.budget =
           { Fuzz.Oracle.timeout; max_conflicts; max_aig_nodes; max_bdd_nodes };
+        quantify_backend;
       }
     in
     let watch = Util.Stopwatch.start () in
@@ -683,6 +727,7 @@ let fuzz_cmd =
       Obs.meta "tool" "cbq-mc-fuzz";
       Obs.meta "seed" (string_of_int seed);
       Obs.meta "failures" (string_of_int n_failures);
+      Obs.meta "quantify_backend" (Cbq.Quantify.backend_name quantify_backend);
       Obs.write_report path;
       Format.printf "stats: wrote %s@." path
     | None -> ());
@@ -695,9 +740,9 @@ let fuzz_cmd =
     (Cmd.info "fuzz" ~doc ~man)
     Term.(
       const run $ seed_arg $ count_arg $ max_latches_arg $ max_inputs_arg $ cone_depth_arg
-      $ corpus_arg $ no_shrink_arg $ fuzz_jobs_arg $ inject_fault_arg $ stats_arg
-      $ stats_json_arg $ progress_arg $ timeout_arg $ max_conflicts_arg $ max_aig_nodes_arg
-      $ max_bdd_nodes_arg)
+      $ shared_subcones_arg $ wide_support_arg $ corpus_arg $ no_shrink_arg $ fuzz_jobs_arg
+      $ inject_fault_arg $ quantify_backend_arg $ stats_arg $ stats_json_arg $ progress_arg
+      $ timeout_arg $ max_conflicts_arg $ max_aig_nodes_arg $ max_bdd_nodes_arg)
 
 (* ---------- sat ---------- *)
 
@@ -967,6 +1012,20 @@ let serve_engine_arg =
 let budget_of timeout max_conflicts max_aig_nodes max_bdd_nodes =
   { Serve.Protocol.timeout; max_conflicts; max_aig_nodes; max_bdd_nodes }
 
+(* kept as a plain string option: the server validates the name and the
+   [Rejected] reason reports the valid set, so a stale client cannot get
+   out of sync with a newer server's backend list *)
+let serve_quantify_backend_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "quantify-backend" ] ~docv:"BACKEND"
+        ~doc:
+          (Printf.sprintf
+             "per-job quantifier-elimination backend for the CBQ engines (%s); omitted means \
+              the server's default"
+             (String.concat " | " Cbq.Quantify.backend_names)))
+
 let serve_cmd =
   let doc = "run the persistent model-checking job daemon" in
   let man =
@@ -1043,8 +1102,8 @@ let print_outcome name = function
 
 let submit_cmd =
   let doc = "submit one job to a running daemon and wait for the verdict" in
-  let run connect circuit param aag engine progress timeout max_conflicts max_aig_nodes
-      max_bdd_nodes =
+  let run connect circuit param aag engine quantify_backend progress timeout max_conflicts
+      max_aig_nodes max_bdd_nodes =
     let model, _status = load_model circuit param aag in
     let spec =
       {
@@ -1053,6 +1112,7 @@ let submit_cmd =
         aig = Netlist.Aiger.write model;
         engine;
         budget = budget_of timeout max_conflicts max_aig_nodes max_bdd_nodes;
+        quantify_backend;
       }
     in
     let client = connect_client connect in
@@ -1075,7 +1135,8 @@ let submit_cmd =
   Cmd.v (Cmd.info "submit" ~doc)
     Term.(
       const run $ connect_arg $ circuit_arg $ param_arg $ aag_arg $ serve_engine_arg
-      $ progress_arg $ timeout_arg $ max_conflicts_arg $ max_aig_nodes_arg $ max_bdd_nodes_arg)
+      $ serve_quantify_backend_arg $ progress_arg $ timeout_arg $ max_conflicts_arg
+      $ max_aig_nodes_arg $ max_bdd_nodes_arg)
 
 let batch_cmd =
   let doc = "submit every AIGER file in a directory to a running daemon" in
@@ -1085,7 +1146,8 @@ let batch_cmd =
       & pos 0 (some dir) None
       & info [] ~docv:"DIR" ~doc:"directory of .aag/.aig model files")
   in
-  let run connect dir engine timeout max_conflicts max_aig_nodes max_bdd_nodes =
+  let run connect dir engine quantify_backend timeout max_conflicts max_aig_nodes
+      max_bdd_nodes =
     let files =
       Sys.readdir dir |> Array.to_list
       |> List.filter (fun f -> Filename.check_suffix f ".aag" || Filename.check_suffix f ".aig")
@@ -1106,6 +1168,7 @@ let batch_cmd =
             aig = Netlist.Aiger.write model;
             engine;
             budget;
+            quantify_backend;
           })
         files
     in
@@ -1119,8 +1182,8 @@ let batch_cmd =
   in
   Cmd.v (Cmd.info "batch" ~doc)
     Term.(
-      const run $ connect_arg $ dir_arg $ serve_engine_arg $ timeout_arg $ max_conflicts_arg
-      $ max_aig_nodes_arg $ max_bdd_nodes_arg)
+      const run $ connect_arg $ dir_arg $ serve_engine_arg $ serve_quantify_backend_arg
+      $ timeout_arg $ max_conflicts_arg $ max_aig_nodes_arg $ max_bdd_nodes_arg)
 
 let ctl_cmd =
   let doc = "control a running daemon: ping, stats or shutdown" in

@@ -1,6 +1,17 @@
-type config = { bmc_depth : int; induction_k : int; make_trace : bool }
+type config = {
+  bmc_depth : int;
+  induction_k : int;
+  make_trace : bool;
+  quantify_backend : Cbq.Quantify.backend;
+}
 
-let default_config = { bmc_depth = 30; induction_k = 25; make_trace = true }
+let default_config =
+  {
+    bmc_depth = 30;
+    induction_k = 25;
+    make_trace = true;
+    quantify_backend = Cbq.Quantify.default.Cbq.Quantify.backend;
+  }
 
 type engine = {
   name : string;
@@ -17,7 +28,13 @@ let trace_of_cbq = function
   | Cbq.Reachability.Proved | Cbq.Reachability.Out_of_budget _ -> None
 
 let engines ?(config = default_config) () =
-  let cbq_config = { Cbq.Reachability.default with make_trace = config.make_trace } in
+  let cbq_config =
+    {
+      Cbq.Reachability.default with
+      make_trace = config.make_trace;
+      quant = { Cbq.Quantify.default with backend = config.quantify_backend };
+    }
+  in
   [
     {
       name = "cbq-bwd";

@@ -17,6 +17,9 @@ type config = {
   bmc_depth : int;  (** BMC unrolling ceiling *)
   induction_k : int;  (** k-induction ceiling *)
   make_trace : bool;  (** ask CBQ engines to rebuild counterexample traces *)
+  quantify_backend : Cbq.Quantify.backend;
+      (** quantification backend for the CBQ engines (circuit / pqe /
+          auto); the other engines ignore it *)
 }
 
 val default_config : config

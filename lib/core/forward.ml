@@ -37,6 +37,7 @@ let run ?(config = Reachability.default) ?(limits = Util.Limits.unlimited) model
   let state_vars = Netlist.Model.state_vars model in
   let iterations = ref [] in
   let peak = ref (Aig.size aig init) in
+  let aborted_acc = ref [] in
   let finish ?invariant verdict =
     {
       Reachability.verdict;
@@ -45,6 +46,7 @@ let run ?(config = Reachability.default) ?(limits = Util.Limits.unlimited) model
       peak_frontier = !peak;
       sat_queries = Cnf.Checker.queries checker;
       invariant;
+      aborted_vars = Reachability.record_aborted_vars !aborted_acc;
     }
   in
   let falsified hit_iteration =
@@ -87,6 +89,7 @@ let run ?(config = Reachability.default) ?(limits = Util.Limits.unlimited) model
   in
   let bad = bad_result.Quantify.lit in
   let bad_clean = bad_result.Quantify.kept = [] in
+  aborted_acc := bad_result.Quantify.kept;
   (* primed variables standing for the next state in the relational image *)
   let primed = List.map (fun l -> (l.Netlist.Model.state_var, Aig.fresh_var aig)) model.Netlist.Model.latches in
   let transition =
@@ -117,6 +120,7 @@ let run ?(config = Reachability.default) ?(limits = Util.Limits.unlimited) model
       Quantify.all ~config:config.Reachability.quant ~bank aig checker ~prng product
         ~vars:to_quantify
     in
+    aborted_acc := q.Quantify.kept @ !aborted_acc;
     (* rename residual model variables so they cannot collide with the
        next iteration's state/input variables *)
     let residual_model_vars =

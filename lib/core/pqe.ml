@@ -1,0 +1,204 @@
+(* Partial quantifier elimination: cover the cone with implicate
+   clauses, then resolve the variable away, proving resolvents
+   redundant instead of keeping them all. See pqe.mli for the
+   soundness discipline on Maybe answers. *)
+
+let obs_span = Obs.span "pqe.eliminate"
+let obs_cover_clauses = Obs.counter "pqe.cover_clauses"
+let obs_resolvents = Obs.counter "pqe.resolvents"
+let obs_dropped = Obs.counter "pqe.resolvents_dropped"
+let obs_aborts = Obs.counter "pqe.aborts"
+let obs_queries_hist = Obs.histogram "pqe.queries_per_var"
+
+type config = { max_support : int; clause_budget : int; resolvent_budget : int }
+
+let default = { max_support = 24; clause_budget = 256; resolvent_budget = 2048 }
+
+type abort_reason =
+  | Support_too_wide of int
+  | Cover_budget
+  | Resolvent_budget
+  | Solver_undecided
+
+let pp_abort_reason ppf = function
+  | Support_too_wide n -> Format.fprintf ppf "support too wide (%d vars)" n
+  | Cover_budget -> Format.pp_print_string ppf "cover clause budget"
+  | Resolvent_budget -> Format.pp_print_string ppf "resolvent budget"
+  | Solver_undecided -> Format.pp_print_string ppf "solver undecided"
+
+type report = {
+  support_size : int;
+  cover_clauses : int;
+  resolvents_formed : int;
+  resolvents_dropped : int;
+  result_clauses : int;
+  sat_queries : int;
+  aborted : abort_reason option;
+}
+
+let pp_report ppf r =
+  Format.fprintf ppf "support=%d cover=%d resolvents=%d dropped=%d kept=%d queries=%d%a"
+    r.support_size r.cover_clauses r.resolvents_formed r.resolvents_dropped r.result_clauses
+    r.sat_queries
+    (fun ppf -> function
+      | None -> ()
+      | Some reason -> Format.fprintf ppf " ABORTED (%a)" pp_abort_reason reason)
+    r.aborted
+
+(* A clause is a sorted (var, positive?) list; the empty clause is
+   [false]. Sorted order makes resolution a linear merge and gives a
+   canonical key for duplicate suppression. *)
+type clause = (Aig.var * bool) list
+
+let compare_plit (v1, s1) (v2, s2) =
+  let c = Int.compare v1 v2 in
+  if c <> 0 then c else Bool.compare s1 s2
+
+let lit_of aig (v, positive) =
+  let x = Aig.var aig v in
+  if positive then x else Aig.not_ x
+
+let clause_lit aig (c : clause) = Aig.or_list aig (List.map (lit_of aig) c)
+let cube_lits aig cube = List.map (lit_of aig) cube
+
+(* Resolvent of [cp] (contains v positive) and [cn] (contains v
+   negative) on [v]: the merged literals minus both pivots, [None] on a
+   tautology (some other variable appears in both phases). *)
+let resolve (cp : clause) (cn : clause) v =
+  let rec merge a b =
+    match (a, b) with
+    | [], s | s, [] -> Some s
+    | (x : Aig.var * bool) :: xs, y :: ys ->
+      let c = compare_plit x y in
+      if c = 0 then Option.map (fun s -> x :: s) (merge xs ys)
+      else if fst x = fst y then None (* x and ¬x: tautology *)
+      else if c < 0 then Option.map (fun s -> x :: s) (merge xs b)
+      else Option.map (fun s -> y :: s) (merge a ys)
+  in
+  merge
+    (List.filter (fun (u, _) -> u <> v) cp)
+    (List.filter (fun (u, _) -> u <> v) cn)
+
+(* Shrink a falsifying cube: literal by literal, drop it if [l ∧ cube]
+   stays unsatisfiable without it. A Maybe keeps the literal — the
+   larger cube is still certified unsatisfiable with [l]. *)
+let generalize_cube aig checker l cube =
+  let rec go kept = function
+    | [] -> List.rev kept
+    | plit :: rest -> (
+      let candidate = List.rev_append kept rest in
+      match Cnf.Checker.satisfiable checker (l :: cube_lits aig candidate) with
+      | Cnf.Checker.No -> go kept rest
+      | Cnf.Checker.Yes | Cnf.Checker.Maybe -> go (plit :: kept) rest)
+  in
+  go [] cube
+
+(* Enumerate implicate clauses until their conjunction is equivalent to
+   [l]: each model of [cover ∧ ¬l] yields a falsifying cube of [l],
+   generalized then negated into a new cover clause that excludes it.
+   Invariant: [l ⊨ clause] for every emitted clause, so termination
+   ([cover ∧ ¬l] unsatisfiable) certifies [cover ≡ l]. *)
+let implicate_cover config aig checker l support =
+  let rec loop clauses lits n =
+    if n >= config.clause_budget then Error Cover_budget
+    else
+      match Cnf.Checker.satisfiable checker (Aig.not_ l :: lits) with
+      | Cnf.Checker.No -> Ok (List.rev clauses)
+      | Cnf.Checker.Maybe -> Error Solver_undecided
+      | Cnf.Checker.Yes ->
+        (* model_var defaults unassigned vars to false: any total
+           extension of the witness still satisfies ¬l ∧ cover *)
+        let cube = List.map (fun u -> (u, Cnf.Checker.model_var checker u)) support in
+        let cube = generalize_cube aig checker l cube in
+        let clause : clause =
+          List.sort compare_plit (List.map (fun (u, b) -> (u, not b)) cube)
+        in
+        loop (clause :: clauses) (clause_lit aig clause :: lits) (n + 1)
+  in
+  loop [] [] 0
+
+(* Davis–Putnam elimination of [v] from the cover, with redundancy
+   dropping: a resolvent already implied by the kept set K is skipped.
+   K only grows, so the final set still implies every dropped
+   resolvent — K_final ≡ ∃v. cover. *)
+let resolve_out config aig checker cover v =
+  let pos, rest = List.partition (List.mem (v, true)) cover in
+  let neg, rest = List.partition (List.mem (v, false)) rest in
+  let seen = Hashtbl.create 64 in
+  List.iter (fun c -> Hashtbl.replace seen (c : clause) ()) rest;
+  let kept = ref (List.rev rest) in
+  let kept_lits = ref (List.rev_map (clause_lit aig) rest) in
+  let formed = ref 0 in
+  let dropped = ref 0 in
+  let budget = ref config.resolvent_budget in
+  try
+    List.iter
+      (fun cp ->
+        List.iter
+          (fun cn ->
+            decr budget;
+            if !budget < 0 then raise Exit;
+            match resolve cp cn v with
+            | None -> () (* tautology: trivially redundant *)
+            | Some r when Hashtbl.mem seen r -> ()
+            | Some r -> (
+              Hashtbl.replace seen r ();
+              incr formed;
+              match Cnf.Checker.implies_clause checker ~given:!kept_lits (List.map (lit_of aig) r) with
+              | Cnf.Checker.Yes -> incr dropped
+              | Cnf.Checker.No | Cnf.Checker.Maybe ->
+                (* Maybe keeps the resolvent: adding an implicate of
+                   the resolvent pair is always sound, just larger *)
+                kept := r :: !kept;
+                kept_lits := clause_lit aig r :: !kept_lits))
+          neg)
+      pos;
+    Ok (List.rev !kept, !formed, !dropped)
+  with Exit -> Error (Resolvent_budget, !formed, !dropped)
+
+let eliminate ?(config = default) aig checker l v =
+  Obs.with_span obs_span @@ fun () ->
+  Obs.Trace_events.begin_args "pqe.eliminate" "var" v;
+  let queries_before = Cnf.Checker.queries checker in
+  let support = List.sort_uniq Int.compare (Aig.support aig l) in
+  let support_size = List.length support in
+  let finish ~cover_clauses ~resolvents_formed ~resolvents_dropped ~result_clauses outcome =
+    let sat_queries = Cnf.Checker.queries checker - queries_before in
+    let aborted = match outcome with Ok _ -> None | Error reason -> Some reason in
+    if aborted <> None then Obs.incr obs_aborts;
+    Obs.add obs_cover_clauses cover_clauses;
+    Obs.add obs_resolvents resolvents_formed;
+    Obs.add obs_dropped resolvents_dropped;
+    Obs.observe obs_queries_hist sat_queries;
+    Obs.Trace_events.end_args "pqe.eliminate" "queries" sat_queries;
+    ( outcome,
+      {
+        support_size;
+        cover_clauses;
+        resolvents_formed;
+        resolvents_dropped;
+        result_clauses;
+        sat_queries;
+        aborted;
+      } )
+  in
+  if not (List.mem v support) then
+    finish ~cover_clauses:0 ~resolvents_formed:0 ~resolvents_dropped:0 ~result_clauses:0 (Ok l)
+  else if support_size > config.max_support then
+    finish ~cover_clauses:0 ~resolvents_formed:0 ~resolvents_dropped:0 ~result_clauses:0
+      (Error (Support_too_wide support_size))
+  else
+    match implicate_cover config aig checker l support with
+    | Error reason ->
+      finish ~cover_clauses:0 ~resolvents_formed:0 ~resolvents_dropped:0 ~result_clauses:0
+        (Error reason)
+    | Ok cover -> (
+      let cover_clauses = List.length cover in
+      match resolve_out config aig checker cover v with
+      | Error (reason, formed, dropped) ->
+        finish ~cover_clauses ~resolvents_formed:formed ~resolvents_dropped:dropped
+          ~result_clauses:0 (Error reason)
+      | Ok (clauses, formed, dropped) ->
+        let result = Aig.and_list aig (List.map (clause_lit aig) clauses) in
+        finish ~cover_clauses ~resolvents_formed:formed ~resolvents_dropped:dropped
+          ~result_clauses:(List.length clauses) (Ok result))

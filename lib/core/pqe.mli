@@ -1,0 +1,70 @@
+(** CNF-level partial quantifier elimination (Goldberg & Manolios,
+    PAPERS.md) as an alternative quantification backend.
+
+    Where circuit cofactoring computes [∃v. F] as [F|v=0 ∨ F|v=1] —
+    doubling the cone in the worst case — PQE works at the clause
+    level: it first covers the cone with a set of implicate clauses
+    [D ≡ F] over the structural support, then eliminates [v] by
+    Davis–Putnam resolution, {e dropping every resolvent the remaining
+    set already implies}. The redundancy queries run on the shared
+    incremental {!Cnf.Checker}, so learned clauses from one query speed
+    up the next. On parity-shaped cones ([∃v. v ⊕ r]) the resolvents
+    are tautologies and the result collapses to [true] — exactly the
+    inputs where budgeted cofactoring aborts.
+
+    Soundness discipline under a three-valued solver: a [Maybe] while
+    proving the cover aborts the elimination (the caller keeps the
+    variable — partial quantification, never a wrong answer); a
+    [Maybe] on a redundancy query conservatively {e keeps} the
+    resolvent. Dropping a resolvent [r] only needs the current kept
+    set [K ⊨ r], and [K] only grows, so the final set still implies
+    every dropped clause. *)
+
+type config = {
+  max_support : int;
+      (** Abort when the cone's structural support exceeds this many
+          variables: the implicate cover is enumerated over the
+          support, so width bounds the worst case. *)
+  clause_budget : int;  (** Maximum implicate-cover clauses. *)
+  resolvent_budget : int;  (** Maximum resolvent pairs considered. *)
+}
+
+val default : config
+
+(** Why an elimination was abandoned. The caller must keep the
+    variable under quantifier scope (partial quantification). *)
+type abort_reason =
+  | Support_too_wide of int  (** support size exceeded [max_support] *)
+  | Cover_budget  (** implicate enumeration exceeded [clause_budget] *)
+  | Resolvent_budget  (** resolution exceeded [resolvent_budget] *)
+  | Solver_undecided
+      (** a cover-phase query answered [Maybe]; equivalence of the
+          clause cover could not be certified *)
+
+val pp_abort_reason : Format.formatter -> abort_reason -> unit
+
+type report = {
+  support_size : int;
+  cover_clauses : int;  (** implicates enumerated to cover the cone *)
+  resolvents_formed : int;  (** non-tautological resolvents examined *)
+  resolvents_dropped : int;  (** resolvents proven redundant *)
+  result_clauses : int;  (** clauses conjoined into the result *)
+  sat_queries : int;  (** checker queries spent by this elimination *)
+  aborted : abort_reason option;
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+(** [eliminate ?config aig checker l v] computes a literal equivalent
+    to [∃v. l], or the abort reason when a budget or an undecided
+    query stopped it. On [Ok r], [r]'s structural support excludes [v]
+    by construction (it is rebuilt as a conjunction of clauses none of
+    which mention [v]). On [Error _] nothing was decided about [l] —
+    the caller falls back or keeps the variable. *)
+val eliminate :
+  ?config:config ->
+  Aig.t ->
+  Cnf.Checker.t ->
+  Aig.lit ->
+  Aig.var ->
+  (Aig.lit, abort_reason) result * report

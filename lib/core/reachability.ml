@@ -30,7 +30,19 @@ type result = {
   peak_frontier : int;
   sat_queries : int;
   invariant : Aig.lit option;
+  aborted_vars : Aig.var list;
+      (* variables partial quantification abandoned, across all frames *)
 }
+
+(* Which variables the quantifier gave up on — triage needs names, not
+   just a count. Sorted, deduplicated across frames, and mirrored into
+   the run-report meta so stored reports carry it. *)
+let record_aborted_vars vars =
+  let vars = List.sort_uniq Int.compare vars in
+  if vars <> [] then
+    Obs.meta "quantify.aborted_vars"
+      (String.concat "," (List.map (Printf.sprintf "x%d") vars));
+  vars
 
 type config = {
   quant : Quantify.config;
@@ -124,6 +136,7 @@ let run ?(config = default) ?(limits = Util.Limits.unlimited) model =
     Obs.Progress.frame ~index:it.index ~nodes:it.frontier_size;
     iterations := it :: !iterations
   in
+  let aborted_acc = ref [] in
   let finish ?invariant verdict =
     {
       verdict;
@@ -132,6 +145,7 @@ let run ?(config = default) ?(limits = Util.Limits.unlimited) model =
       peak_frontier = !peak;
       sat_queries = Cnf.Checker.queries checker;
       invariant;
+      aborted_vars = record_aborted_vars !aborted_acc;
     }
   in
   (* iteration 0: the bad states themselves, with property inputs (if any)
@@ -144,6 +158,7 @@ let run ?(config = default) ?(limits = Util.Limits.unlimited) model =
   in
   let b0 = b0_result.Quantify.lit in
   let b0_clean = b0_result.Quantify.kept = [] in
+  aborted_acc := b0_result.Quantify.kept;
   peak := Aig.size aig b0;
   let falsified hit_iteration =
     if config.make_trace || config.use_reached_dc then
@@ -189,6 +204,7 @@ let run ?(config = default) ?(limits = Util.Limits.unlimited) model =
           Preimage.compute ~config:config.quant ~bank model checker ~prng ~frontier:!frontier
             ~extra_vars:!aux_vars
         in
+        aborted_acc := pre.Preimage.kept @ !aborted_acc;
         (* residual model inputs must not collide with the next frame's
            inputs: rename them to private auxiliary variables *)
         let residual_inputs = List.filter (fun v -> List.mem v input_vars) pre.Preimage.kept in

@@ -42,7 +42,16 @@ type result = {
   (* on [Proved] without partial-quantification residuals: the complement
      of the backward-reached set — an inductive invariant certifying the
      property, checkable independently with {!Certify.check} *)
+  aborted_vars : Aig.var list;
+  (* the variables partial quantification abandoned across the whole run,
+     sorted and deduplicated — who was kept, not just how many. Also
+     mirrored into the run report as the [quantify.aborted_vars] meta. *)
 }
+
+(** Sort/dedup an aborted-variable accumulation, publish it as the
+    [quantify.aborted_vars] report meta when nonempty, and return it.
+    Shared by both traversal directions. *)
+val record_aborted_vars : Aig.var list -> Aig.var list
 
 type config = {
   quant : Quantify.config;

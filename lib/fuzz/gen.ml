@@ -11,6 +11,8 @@ type knobs = {
   duplicate_cones : float;
   property : property_shape;
   property_literals : int;
+  shared_subcones : float;
+  wide_support : float;
 }
 
 let default =
@@ -25,6 +27,8 @@ let default =
     duplicate_cones = 0.2;
     property = Mixed;
     property_literals = 2;
+    shared_subcones = 0.0;
+    wide_support = 0.0;
   }
 
 let validate_knobs k =
@@ -44,6 +48,8 @@ let validate_knobs k =
   let* () = prob "and_density" k.and_density in
   let* () = prob "constant_cones" k.constant_cones in
   let* () = prob "duplicate_cones" k.duplicate_cones in
+  let* () = prob "shared_subcones" k.shared_subcones in
+  let* () = prob "wide_support" k.wide_support in
   if k.property_literals < 1 then Error "property_literals must be >= 1" else Ok ()
 
 (* one splitmix64 step per index keeps per-model seeds independent of the
@@ -84,6 +90,28 @@ let redundant_copy aig prng pool f =
   let t = pick prng pool in
   Aig.or_ aig (Aig.and_ aig f t) (Aig.and_ aig f (Aig.not_ t))
 
+(* a mux of xor/xnor over two shared deep subcones: the two select
+   cofactors differ only in one polarity buried below the or-of-ands, so
+   the circuit backend's Shannon disjunction is a near-tautology its
+   two-level rewrite rules cannot fold, while PQE's resolution sees the
+   collapse at the clause level *)
+let shared_subcone aig prng k ~pool =
+  let sel = pick prng pool in
+  let depth = max 1 (k.cone_depth - 1) in
+  let y = cone aig prng k ~pool ~depth in
+  let z = cone aig prng k ~pool ~depth in
+  let xor_ = Aig.or_ aig (Aig.and_ aig y (Aig.not_ z)) (Aig.and_ aig (Aig.not_ y) z) in
+  let xnor = Aig.or_ aig (Aig.and_ aig y z) (Aig.and_ aig (Aig.not_ y) (Aig.not_ z)) in
+  Aig.or_ aig (Aig.and_ aig sel xor_) (Aig.and_ aig (Aig.not_ sel) xnor)
+
+(* one gate ranging over the whole pool: maximal support width, the
+   shape the PQE support cap and the backend selector are tuned against *)
+let wide_cone aig prng pool =
+  let lits =
+    Array.to_list (Array.map (fun l -> if Util.Prng.bool prng then Aig.not_ l else l) pool)
+  in
+  if Util.Prng.bool prng then Aig.or_list aig lits else Aig.and_list aig lits
+
 let latch_literal prng latches =
   let q = latches.(Util.Prng.int prng (Array.length latches)) in
   if Util.Prng.bool prng then Aig.not_ q else q
@@ -111,6 +139,14 @@ let model ?(knobs = default) ~seed () =
     (fun q ->
       let prng = Util.Prng.split cones_prng in
       let next =
+        (* the PQE-trigger shapes draw from the stream only when their
+           knob is on, so campaigns with the default knobs reproduce
+           seed-for-seed across this change *)
+        if knobs.shared_subcones > 0.0 && Util.Prng.float prng < knobs.shared_subcones then
+          shared_subcone aig prng knobs ~pool
+        else if knobs.wide_support > 0.0 && Util.Prng.float prng < knobs.wide_support then
+          wide_cone aig prng pool
+        else
         let r = Util.Prng.float prng in
         if r < knobs.constant_cones then
           let zero = hidden_false aig prng pool in

@@ -37,6 +37,18 @@ type knobs = {
           rebuild of an earlier latch's cone (a guaranteed merge point) *)
   property : property_shape;
   property_literals : int;  (** literals of a [Clause]/[Cube] property *)
+  shared_subcones : float;
+      (** probability that a latch's cone is a mux of xor/xnor over two
+          shared deep subcones — the shape where the circuit backend's
+          cofactor disjunction is a near-tautology it cannot fold while
+          the PQE backend collapses it by resolution. At [0.0] (the
+          default) generation draws no extra PRNG bits, so existing
+          seeds reproduce byte-identical models *)
+  wide_support : float;
+      (** probability that a latch's cone is one gate over the {e whole}
+          variable pool — maximal support width, exercising the PQE
+          support cap and the backend selector. Stream-neutral at [0.0]
+          like [shared_subcones] *)
 }
 
 val default : knobs

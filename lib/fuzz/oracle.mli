@@ -7,9 +7,10 @@
       equality {e is} structural equality), in both the ascii and the
       binary format;
     - {b algebraic}: SAT-checked semantic identities of the individual
-      pipeline stages — quantification equals the naive cofactor
-      disjunction and leaves no trace of the eliminated variables,
-      sweeping and don't-care optimization preserve cone semantics;
+      pipeline stages — quantification under {e every} backend (circuit,
+      pqe, auto) equals the naive cofactor disjunction and leaves no
+      trace of the eliminated variables, sweeping and don't-care
+      optimization preserve cone semantics;
     - {b differential}: every verification engine (CBQ backward and
       forward, and the five baselines) runs on its own clone of the
       model, and all {e decided} verdicts must agree — [Undecided] (and
@@ -27,8 +28,10 @@ type failure =
   | Bad_trace of { engine : string; detail : string }
       (** a falsifying engine produced a trace the model rejects *)
   | Engine_crash of { engine : string; exn : string }
-  | Unsound_quantification of { detail : string }
-  | Residual_dependence of { var : Aig.var }
+  | Unsound_quantification of { backend : string; detail : string }
+      (** a quantification backend (["circuit"], ["pqe"] or ["auto"])
+          disagreed with the naive Shannon disjunction *)
+  | Residual_dependence of { backend : string; var : Aig.var }
       (** an eliminated variable is still in the result's support *)
   | Unsound_sweep of { root : int }
       (** sweeping changed the semantics of the [root]-th model cone *)
@@ -64,6 +67,10 @@ type config = {
   bmc_depth : int;  (** BMC search bound; exhaustion is [Undecided] *)
   induction_k : int;
   check_traces : bool;
+  quantify_backend : Cbq.Quantify.backend;
+      (** backend used by the CBQ engines in the {e differential} layer;
+          the algebraic layer always checks all three backends against
+          the Shannon oracle regardless *)
 }
 
 val default_config : config

@@ -44,10 +44,17 @@ type t = {
 
 let default_interval = 0.05
 
-(* the counters worth a curve by default: solver pressure and
-   fixed-point progress *)
+(* the counters worth a curve by default: solver pressure,
+   fixed-point progress, and quantification abort pressure (the curve
+   that shows a backend giving up mid-traversal) *)
 let default_counters =
-  [ "sat.solve_calls"; "sat.conflicts"; "sweep.runs"; "reach.iterations" ]
+  [
+    "sat.solve_calls";
+    "sat.conflicts";
+    "sweep.runs";
+    "reach.iterations";
+    "quantify.vars.aborted";
+  ]
 
 let take_sample t =
   let stat = Gc.quick_stat () in

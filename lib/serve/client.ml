@@ -85,6 +85,7 @@ type job_spec = {
   aig : string;
   engine : string;
   budget : Protocol.budget;
+  quantify_backend : string option;
 }
 
 type outcome =
@@ -109,6 +110,7 @@ let submit_wait ?(on_event = fun (_ : Protocol.event) -> ()) t spec =
          aig = spec.aig;
          engine = spec.engine;
          budget = spec.budget;
+         quantify_backend = spec.quantify_backend;
        });
   let progress = ref 0 in
   let rec await_accept () =
@@ -165,6 +167,7 @@ let run_batch ?(on_event = fun (_ : Protocol.event) -> ()) t specs =
                      aig = spec.aig;
                      engine = spec.engine;
                      budget = spec.budget;
+                     quantify_backend = spec.quantify_backend;
                    }))
             specs
         with Sys_error _ | Unix.Unix_error _ -> () (* reader will see the close *))

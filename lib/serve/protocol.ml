@@ -58,6 +58,9 @@ type request =
       aig : string;  (** ASCII AIGER bytes *)
       engine : string;
       budget : budget;
+      quantify_backend : string option;
+          (* optional on the wire: absent = server default, so old
+             clients keep working against new servers and vice versa *)
     }
   | Cancel of { id : int }
   | Ping
@@ -94,7 +97,7 @@ let budget_fields b =
   @ i "max_bdd_nodes" b.max_bdd_nodes
 
 let request_json = function
-  | Submit { tag; model_name; aig; engine; budget } ->
+  | Submit { tag; model_name; aig; engine; budget; quantify_backend } ->
     J.Obj
       ([
          ("type", J.String "submit");
@@ -103,6 +106,9 @@ let request_json = function
          ("engine", J.String engine);
          ("aig", J.String aig);
        ]
+      @ (match quantify_backend with
+        | Some b -> [ ("quantify_backend", J.String b) ]
+        | None -> [])
       @ budget_fields budget)
   | Cancel { id } -> J.Obj [ ("type", J.String "cancel"); ("id", J.Int id) ]
   | Ping -> J.Obj [ ("type", J.String "ping") ]
@@ -188,7 +194,16 @@ let request_of_line line =
         let* model_name = require "\"model\"" (str "model" j) in
         let* engine = require "\"engine\"" (str "engine" j) in
         let* aig = require "\"aig\"" (str "aig" j) in
-        Ok (Submit { tag; model_name; aig; engine; budget = budget_of_json j })
+        Ok
+          (Submit
+             {
+               tag;
+               model_name;
+               aig;
+               engine;
+               budget = budget_of_json j;
+               quantify_backend = str "quantify_backend" j;
+             })
       | "cancel" ->
         let* id = require "\"id\"" (int "id" j) in
         Ok (Cancel { id })

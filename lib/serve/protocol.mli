@@ -38,6 +38,11 @@ type request =
       aig : string;  (** ASCII AIGER bytes *)
       engine : string;  (** a [Baselines.Suite] engine name *)
       budget : budget;
+      quantify_backend : string option;
+          (** a [Cbq.Quantify] backend name for the CBQ engines
+              (["circuit"], ["pqe"], ["auto"]); optional on the wire —
+              absent means the server's default, so older clients
+              inter-operate *)
     }
   | Cancel of { id : int }
   | Ping

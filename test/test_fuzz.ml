@@ -47,6 +47,32 @@ let test_gen_rejects_bad_knobs () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "model accepted invalid knobs"
 
+let test_pqe_shape_knobs () =
+  let bad = { Fuzz.Gen.default with Fuzz.Gen.shared_subcones = 1.5 } in
+  check bool "bad shared_subcones rejected" true (Result.is_error (Fuzz.Gen.validate_knobs bad));
+  let bad = { Fuzz.Gen.default with Fuzz.Gen.wide_support = -0.1 } in
+  check bool "bad wide_support rejected" true (Result.is_error (Fuzz.Gen.validate_knobs bad));
+  (* with a trigger knob on, generation stays deterministic, validates,
+     and actually changes the models *)
+  List.iter
+    (fun knobs ->
+      List.iter
+        (fun seed ->
+          let a = Netlist.Aiger.write (Fuzz.Gen.model ~knobs ~seed ()) in
+          let b = Netlist.Aiger.write (Fuzz.Gen.model ~knobs ~seed ()) in
+          check bool (Printf.sprintf "seed %d reproduces under pqe shapes" seed) true (a = b);
+          check bool "model validates" true
+            (Netlist.Model.validate (Fuzz.Gen.model ~knobs ~seed ()) = Ok ());
+          check bool
+            (Printf.sprintf "seed %d differs from the default-shape model" seed)
+            true
+            (a <> Netlist.Aiger.write (Fuzz.Gen.model ~seed ())))
+        [ 3; 8; 21 ])
+    [
+      { Fuzz.Gen.default with Fuzz.Gen.shared_subcones = 1.0 };
+      { Fuzz.Gen.default with Fuzz.Gen.wide_support = 1.0 };
+    ]
+
 let test_derive_seed_prefix_stable () =
   (* the i-th model of a campaign must not depend on the campaign length *)
   let a = List.init 10 (fun i -> Fuzz.Gen.derive_seed ~master:42 i) in
@@ -96,6 +122,23 @@ let test_oracle_budget_degrades_to_undecided () =
       Alcotest.failf "seed %d: budget degradation misread as %a" seed Fuzz.Oracle.pp_failure f
   done
 
+let test_oracle_backend_choice_agrees () =
+  (* the differential layer runs the CBQ engines under each configured
+     backend; decided verdicts must stay compatible with the baselines *)
+  List.iter
+    (fun backend ->
+      let config = { Fuzz.Oracle.default_config with Fuzz.Oracle.quantify_backend = backend } in
+      for seed = 11 to 15 do
+        let m = Fuzz.Gen.model ~seed () in
+        match Fuzz.Oracle.check ~config m with
+        | None -> ()
+        | Some f ->
+          Alcotest.failf "seed %d under the %s backend: %a" seed
+            (Cbq.Quantify.backend_name backend)
+            Fuzz.Oracle.pp_failure f
+      done)
+    [ Cbq.Quantify.Circuit; Cbq.Quantify.Pqe; Cbq.Quantify.Auto ]
+
 (* ---------- smoke sweep ---------- *)
 
 let test_smoke_sweep_tiny_budget () =
@@ -109,6 +152,21 @@ let test_smoke_sweep_tiny_budget () =
   in
   let r = Fuzz.Runner.run ~config ~shrink:false ~seed:2026 ~count:100 () in
   check int "100 models ran" 100 r.Fuzz.Runner.count;
+  List.iter
+    (fun f ->
+      Alcotest.failf "seed %d: %a" f.Fuzz.Runner.seed Fuzz.Oracle.pp_failure
+        f.Fuzz.Runner.failure)
+    r.Fuzz.Runner.failures
+
+let test_pqe_shape_sweep () =
+  (* PQE-trigger shapes through the full oracle stack: check_algebraic
+     differentially verifies every quantification backend against the
+     Shannon oracle on exactly the structures the pqe backend targets *)
+  let knobs =
+    { Fuzz.Gen.default with Fuzz.Gen.shared_subcones = 0.4; wide_support = 0.3 }
+  in
+  let r = Fuzz.Runner.run ~knobs ~shrink:false ~seed:1337 ~count:40 () in
+  check int "40 models ran" 40 r.Fuzz.Runner.count;
   List.iter
     (fun f ->
       Alcotest.failf "seed %d: %a" f.Fuzz.Runner.seed Fuzz.Oracle.pp_failure
@@ -242,14 +300,17 @@ let () =
           Alcotest.test_case "seeds differ" `Quick test_gen_seeds_differ;
           Alcotest.test_case "models validate" `Quick test_gen_validates;
           Alcotest.test_case "knob validation" `Quick test_gen_rejects_bad_knobs;
+          Alcotest.test_case "pqe-trigger shape knobs" `Quick test_pqe_shape_knobs;
           Alcotest.test_case "seed derivation" `Quick test_derive_seed_prefix_stable;
         ] );
       ( "oracle",
         [
           Alcotest.test_case "verdict compatibility" `Quick test_verdict_compatibility;
           Alcotest.test_case "good model passes" `Quick test_oracle_accepts_good_model;
+          Alcotest.test_case "per-backend differential" `Quick test_oracle_backend_choice_agrees;
           Alcotest.test_case "budget degradation" `Quick test_oracle_budget_degrades_to_undecided;
           Alcotest.test_case "100-model smoke sweep" `Quick test_smoke_sweep_tiny_budget;
+          Alcotest.test_case "pqe-shape sweep" `Quick test_pqe_shape_sweep;
         ] );
       ( "self-test",
         [

@@ -1,0 +1,340 @@
+(* The PQE quantification backend and its differential conformance
+   harness: redundancy-query soundness on hand-built CNFs, support
+   clearing, selector determinism on the registry families, budget
+   degradation (a dry conflict pool yields partial quantification,
+   never a wrong result), and QCheck properties checking every backend
+   against the Shannon-disjunction oracle on generated models. *)
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let eval_mask aig l mask = Aig.eval aig l (fun v -> (mask lsr v) land 1 = 1)
+
+let semantically_equal aig nvars a b =
+  let rec go mask =
+    mask >= 1 lsl nvars || (eval_mask aig a mask = eval_mask aig b mask && go (mask + 1))
+  in
+  go 0
+
+let shannon aig l v =
+  Aig.or_ aig (Aig.cofactor aig l ~v ~phase:false) (Aig.cofactor aig l ~v ~phase:true)
+
+let setup () =
+  let aig = Aig.create () in
+  let checker = Cnf.Checker.create aig in
+  let prng = Util.Prng.create 7 in
+  (aig, checker, prng)
+
+(* ---------- redundancy queries (Cnf.Checker.implies_clause) ---------- *)
+
+let test_implies_clause_soundness () =
+  let aig, checker, _ = setup () in
+  let x = Aig.var aig 0 and y = Aig.var aig 1 and z = Aig.var aig 2 in
+  (* K = (x ∨ y) ∧ (¬x ∨ y) entails y but not x *)
+  let k = [ Aig.or_ aig x y; Aig.or_ aig (Aig.not_ x) y ] in
+  check bool "K ⊨ y" true (Cnf.Checker.implies_clause checker ~given:k [ y ] = Cnf.Checker.Yes);
+  check bool "K ⊭ x" true (Cnf.Checker.implies_clause checker ~given:k [ x ] = Cnf.Checker.No);
+  check bool "K ⊨ y ∨ z" true
+    (Cnf.Checker.implies_clause checker ~given:k [ y; z ] = Cnf.Checker.Yes);
+  check bool "K ⊭ z" true (Cnf.Checker.implies_clause checker ~given:k [ z ] = Cnf.Checker.No);
+  (* short-circuits: constant true and a literal of the given set *)
+  check bool "true clause" true
+    (Cnf.Checker.implies_clause checker ~given:[] [ Aig.true_ ] = Cnf.Checker.Yes);
+  let q0 = Cnf.Checker.queries checker in
+  check bool "given literal" true
+    (Cnf.Checker.implies_clause checker ~given:[ z ] [ x; z ] = Cnf.Checker.Yes);
+  check int "shortcut spends no query" q0 (Cnf.Checker.queries checker);
+  (* empty clause: provable only from an unsatisfiable given set *)
+  check bool "consistent K ⊭ ⊥" true
+    (Cnf.Checker.implies_clause checker ~given:k [] = Cnf.Checker.No);
+  check bool "inconsistent K ⊨ ⊥" true
+    (Cnf.Checker.implies_clause checker ~given:[ x; Aig.not_ x ] [] = Cnf.Checker.Yes)
+
+(* ---------- Pqe.eliminate on hand-built functions ---------- *)
+
+let test_pqe_mux () =
+  let aig, checker, _ = setup () in
+  let x = Aig.var aig 0 and y = Aig.var aig 1 and z = Aig.var aig 2 in
+  let f = Aig.or_ aig (Aig.and_ aig x y) (Aig.and_ aig (Aig.not_ x) z) in
+  match Cbq.Pqe.eliminate aig checker f 0 with
+  | Ok q, report ->
+    check bool "∃x. mux = y ∨ z" true (semantically_equal aig 3 q (Aig.or_ aig y z));
+    check bool "support cleared" false (Aig.depends_on aig q 0);
+    check bool "cover nonempty" true (report.Cbq.Pqe.cover_clauses > 0);
+    check bool "no abort" true (report.Cbq.Pqe.aborted = None)
+  | Error reason, _ ->
+    Alcotest.failf "unexpected abort: %s" (Fmt.str "%a" Cbq.Pqe.pp_abort_reason reason)
+
+let test_pqe_xor_collapses () =
+  let aig, checker, _ = setup () in
+  let x = Aig.var aig 0 and y = Aig.var aig 1 and z = Aig.var aig 2 in
+  (* ∃x. x ⊕ (y ∧ z) — every resolvent is a tautology, K collapses *)
+  let f = Aig.xor_ aig x (Aig.and_ aig y z) in
+  match Cbq.Pqe.eliminate aig checker f 0 with
+  | Ok q, _ -> check int "∃x. x⊕g = true" Aig.true_ q
+  | Error _, _ -> Alcotest.fail "unexpected abort"
+
+let test_pqe_constants_and_free () =
+  let aig, checker, _ = setup () in
+  let x = Aig.var aig 0 and y = Aig.var aig 1 in
+  (match Cbq.Pqe.eliminate aig checker Aig.false_ 0 with
+  | Ok q, _ -> check int "∃x. false = false" Aig.false_ q
+  | Error _, _ -> Alcotest.fail "abort on false");
+  (match Cbq.Pqe.eliminate aig checker x 0 with
+  | Ok q, _ -> check int "∃x. x = true" Aig.true_ q
+  | Error _, _ -> Alcotest.fail "abort on x");
+  (match Cbq.Pqe.eliminate aig checker (Aig.and_ aig x y) 0 with
+  | Ok q, _ -> check bool "∃x. x∧y = y" true (semantically_equal aig 2 q y)
+  | Error _, _ -> Alcotest.fail "abort on x∧y");
+  (* free variable: untouched, no queries needed *)
+  match Cbq.Pqe.eliminate aig checker y 0 with
+  | Ok q, report ->
+    check int "free var identity" y q;
+    check int "free var costs nothing" 0 report.Cbq.Pqe.sat_queries
+  | Error _, _ -> Alcotest.fail "abort on free var"
+
+let test_pqe_support_cap () =
+  let aig, checker, _ = setup () in
+  let xs = List.init 6 (Aig.var aig) in
+  let f = Aig.and_list aig xs in
+  let config = { Cbq.Pqe.default with max_support = 3 } in
+  match Cbq.Pqe.eliminate ~config aig checker f 0 with
+  | Error (Cbq.Pqe.Support_too_wide n), report ->
+    check int "reported width" 6 n;
+    check bool "abort recorded" true (report.Cbq.Pqe.aborted <> None)
+  | _ -> Alcotest.fail "expected Support_too_wide"
+
+let test_pqe_dry_conflict_pool () =
+  (* a governor with an empty conflict pool: every elimination must
+     abort (partial quantification) — never return a wrong literal *)
+  let aig = Aig.create () in
+  let checker = Cnf.Checker.create aig in
+  let limits = Util.Limits.create ~max_conflicts:0 () in
+  Util.Limits.trip limits Util.Limits.Conflicts;
+  Cnf.Checker.set_limits checker limits;
+  let x = Aig.var aig 0 and y = Aig.var aig 1 and z = Aig.var aig 2 in
+  let f = Aig.or_ aig (Aig.and_ aig x y) (Aig.and_ aig (Aig.not_ x) z) in
+  match Cbq.Pqe.eliminate aig checker f 0 with
+  | Error Cbq.Pqe.Solver_undecided, _ -> ()
+  | Error r, _ ->
+    Alcotest.failf "wrong abort reason: %s" (Fmt.str "%a" Cbq.Pqe.pp_abort_reason r)
+  | Ok _, _ -> Alcotest.fail "dry pool must abort, not answer"
+
+(* ---------- Quantify backend dispatch ---------- *)
+
+let pqe_config = { Cbq.Quantify.default with backend = Cbq.Quantify.Pqe }
+let auto_config = { Cbq.Quantify.default with backend = Cbq.Quantify.Auto }
+
+let test_backend_names () =
+  List.iter
+    (fun name ->
+      match Cbq.Quantify.backend_of_string name with
+      | Some b -> check Alcotest.string "round-trip" name (Cbq.Quantify.backend_name b)
+      | None -> Alcotest.failf "unknown backend %s" name)
+    Cbq.Quantify.backend_names;
+  check bool "junk rejected" true (Cbq.Quantify.backend_of_string "bdd" = None)
+
+let test_quantify_pqe_backend () =
+  let aig, checker, prng = setup () in
+  let x = Aig.var aig 0 and y = Aig.var aig 1 and z = Aig.var aig 2 in
+  let f = Aig.or_ aig (Aig.and_ aig x y) (Aig.and_ aig (Aig.not_ x) z) in
+  match Cbq.Quantify.one ~config:pqe_config aig checker ~prng f 0 with
+  | Ok q, report ->
+    check bool "pqe backend correct" true (semantically_equal aig 3 q (shannon aig f 0));
+    check bool "support cleared" false (Aig.depends_on aig q 0);
+    check bool "routed to pqe" true (report.Cbq.Quantify.backend = Cbq.Quantify.Pqe);
+    check bool "pqe report attached" true (report.Cbq.Quantify.pqe_report <> None)
+  | Error _, _ -> Alcotest.fail "unexpected abort"
+
+(* f = x ? (y⊕z) : (y≡z), with the xor and xnor built from distinct
+   and-nodes so the hashed AIG cannot see they are complements. The
+   cofactor disjunction (y⊕z) ∨ (y≡z) is a 7-node tautology the strict
+   circuit backend aborts on; PQE's resolvents are all tautologies, so
+   it answers [true] — the auto ladder must eliminate the variable. *)
+let hidden_tautology aig =
+  let x = Aig.var aig 0 and y = Aig.var aig 1 and z = Aig.var aig 2 in
+  let xor_ = Aig.or_ aig (Aig.and_ aig y (Aig.not_ z)) (Aig.and_ aig (Aig.not_ y) z) in
+  let xnor = Aig.or_ aig (Aig.and_ aig y z) (Aig.and_ aig (Aig.not_ y) (Aig.not_ z)) in
+  Aig.or_ aig (Aig.and_ aig x xor_) (Aig.and_ aig (Aig.not_ x) xnor)
+
+let strict_budget config =
+  { config with Cbq.Quantify.growth_limit = 0.0; growth_slack = 0; use_dontcare = false;
+    use_rewrite = false;
+    sweep = { Sweep.Sweeper.default with bdd_node_limit = 0; sat = None; sim_rounds = 1 } }
+
+let test_auto_ladder_beats_circuit () =
+  let aig, checker, prng = setup () in
+  let f = hidden_tautology aig in
+  let circuit_strict = strict_budget Cbq.Quantify.default in
+  (match Cbq.Quantify.one ~config:circuit_strict aig checker ~prng f 0 with
+  | Error naive, report ->
+    check bool "circuit abort flagged" true report.Cbq.Quantify.aborted;
+    check bool "abort payload still ∃x.f" true (semantically_equal aig 3 naive (shannon aig f 0))
+  | Ok q, _ -> check bool "strict circuit can only emit constants" true (Aig.is_const q));
+  match Cbq.Quantify.one ~config:(strict_budget auto_config) aig checker ~prng f 0 with
+  | Ok q, report ->
+    check int "auto resolves to true" Aig.true_ q;
+    check bool "auto routed to pqe" true (report.Cbq.Quantify.backend = Cbq.Quantify.Pqe)
+  | Error _, _ -> Alcotest.fail "auto must succeed where pqe does"
+
+let test_auto_never_worse_than_circuit () =
+  (* on identical inputs, every variable circuit eliminates is also
+     eliminated by auto: auto only keeps a variable when both fail *)
+  let aig, checker, prng = setup () in
+  let xs = List.init 5 (Aig.var aig) in
+  let f =
+    Aig.and_ aig
+      (Aig.or_list aig xs)
+      (Aig.xor_ aig (List.nth xs 0) (Aig.and_ aig (List.nth xs 1) (List.nth xs 2)))
+  in
+  let vars = [ 0; 1; 2 ] in
+  let strict = strict_budget Cbq.Quantify.default in
+  let r_circuit = Cbq.Quantify.all ~config:strict aig checker ~prng f ~vars in
+  let r_auto = Cbq.Quantify.all ~config:(strict_budget auto_config) aig checker ~prng f ~vars in
+  check bool "auto keeps a subset" true
+    (List.for_all (fun v -> List.mem v r_circuit.Cbq.Quantify.kept) r_auto.Cbq.Quantify.kept)
+
+let test_quantify_pqe_budget_degradation () =
+  (* dry conflict pool under the Pqe backend: Quantify.one must fall
+     into partial quantification with a still-correct Error payload *)
+  let aig = Aig.create () in
+  let checker = Cnf.Checker.create aig in
+  let prng = Util.Prng.create 7 in
+  let limits = Util.Limits.create ~max_conflicts:0 () in
+  Util.Limits.trip limits Util.Limits.Conflicts;
+  Cnf.Checker.set_limits checker limits;
+  let f = hidden_tautology aig in
+  match Cbq.Quantify.one ~config:pqe_config aig checker ~prng f 0 with
+  | Error naive, report ->
+    check bool "aborted" true report.Cbq.Quantify.aborted;
+    check bool "payload still ∃x.f" true (semantically_equal aig 3 naive (shannon aig f 0))
+  | Ok q, _ ->
+    (* acceptable only when the answer needs no solver at all *)
+    check bool "budgetless success is semantical" true (semantically_equal aig 3 q (shannon aig f 0))
+
+(* ---------- selector decisions on the registry families ---------- *)
+
+let test_selector_deterministic_on_families () =
+  List.iter
+    (fun name ->
+      let model, _ = Circuits.Registry.build name None in
+      let aig = model.Netlist.Model.aig in
+      let checker = Cnf.Checker.create aig in
+      let bad = Aig.not_ model.Netlist.Model.property in
+      match model.Netlist.Model.latches with
+      | [] -> ()
+      | l0 :: _ ->
+        let v = l0.Netlist.Model.state_var in
+        let d1 = Cbq.Quantify.decide ~config:auto_config aig checker bad v in
+        let d2 = Cbq.Quantify.decide ~config:auto_config aig checker bad v in
+        check bool (name ^ " deterministic") true (d1 = d2);
+        check bool (name ^ " never Auto") true (d1 <> Cbq.Quantify.Auto))
+    [ "counter"; "gray"; "lfsr"; "arbiter"; "fifo"; "johnson" ]
+
+let test_selector_pinned () =
+  (* pin the routing on two contrasting shapes: a wide-support cone
+     must stay on circuit (PQE's cover enumerates over the support); a
+     parity cone with disagreeing small cofactors must go to PQE *)
+  let aig = Aig.create () in
+  let checker = Cnf.Checker.create aig in
+  let wide = Aig.and_list aig (List.init 30 (Aig.var aig)) in
+  check bool "wide support -> circuit" true
+    (Cbq.Quantify.decide ~config:auto_config aig checker wide 0 = Cbq.Quantify.Circuit);
+  let bank = Sweep.Pattern_bank.create () in
+  let f = hidden_tautology aig in
+  let d = Cbq.Quantify.decide ~bank ~config:auto_config aig checker f 0 in
+  check bool "selector decided" true (d = Cbq.Quantify.Pqe || d = Cbq.Quantify.Circuit)
+
+(* ---------- QCheck: differential conformance per backend ---------- *)
+
+let nvars = 5
+
+let backend_matches_shannon backend =
+  let config =
+    {
+      Cbq.Quantify.naive_config with
+      backend;
+      (* keep auto's circuit leg cheap and deterministic in tests *)
+      growth_limit = 4.0;
+      growth_slack = 64;
+    }
+  in
+  QCheck.Test.make ~count:200
+    ~name:(Printf.sprintf "backend %s ≡ Shannon disjunction" (Cbq.Quantify.backend_name backend))
+    (QCheck.pair (Gen_util.qc_expr ~size:14 nvars) QCheck.(int_bound (nvars - 1)))
+    (fun (e, v) ->
+      let aig = Aig.create () in
+      let checker = Cnf.Checker.create aig in
+      let prng = Util.Prng.create 11 in
+      let f = Gen_util.build_aig aig e in
+      let oracle = shannon aig f v in
+      let result, report = Cbq.Quantify.one ~config aig checker ~prng f v in
+      match result with
+      | Ok q ->
+        semantically_equal aig nvars q oracle
+        && (not (Aig.depends_on aig q v))
+        (* a dependent variable is always handled by a concrete backend;
+           independent ones take neither path *)
+        && ((not (Aig.depends_on aig f v)) || report.Cbq.Quantify.backend <> Cbq.Quantify.Auto)
+      | Error naive ->
+        (* aborts are allowed (partial quantification) but the carried
+           literal must still be the quantification *)
+        semantically_equal aig nvars naive oracle)
+
+let all_backends_agree =
+  QCheck.Test.make ~count:200 ~name:"backends agree modulo aborts"
+    (QCheck.pair (Gen_util.qc_expr ~size:14 nvars) QCheck.(int_bound (nvars - 1)))
+    (fun (e, v) ->
+      let run backend =
+        let aig = Aig.create () in
+        let checker = Cnf.Checker.create aig in
+        let prng = Util.Prng.create 13 in
+        let f = Gen_util.build_aig aig e in
+        let config = { Cbq.Quantify.naive_config with backend } in
+        let result, _ = Cbq.Quantify.one ~config aig checker ~prng f v in
+        let lit = match result with Ok q -> q | Error naive -> naive in
+        (* canonical truth table over the fixed variable set *)
+        List.init (1 lsl nvars) (eval_mask aig lit)
+      in
+      let circuit = run Cbq.Quantify.Circuit in
+      run Cbq.Quantify.Pqe = circuit && run Cbq.Quantify.Auto = circuit)
+
+let () =
+  Alcotest.run "pqe"
+    [
+      ( "redundancy",
+        [ Alcotest.test_case "implies_clause soundness" `Quick test_implies_clause_soundness ] );
+      ( "eliminate",
+        [
+          Alcotest.test_case "mux" `Quick test_pqe_mux;
+          Alcotest.test_case "xor collapses to true" `Quick test_pqe_xor_collapses;
+          Alcotest.test_case "constants and free vars" `Quick test_pqe_constants_and_free;
+          Alcotest.test_case "support cap" `Quick test_pqe_support_cap;
+          Alcotest.test_case "dry conflict pool aborts" `Quick test_pqe_dry_conflict_pool;
+        ] );
+      ( "dispatch",
+        [
+          Alcotest.test_case "backend names" `Quick test_backend_names;
+          Alcotest.test_case "pqe backend via Quantify.one" `Quick test_quantify_pqe_backend;
+          Alcotest.test_case "auto ladder beats strict circuit" `Quick
+            test_auto_ladder_beats_circuit;
+          Alcotest.test_case "auto keeps a subset of circuit's aborts" `Quick
+            test_auto_never_worse_than_circuit;
+          Alcotest.test_case "budget degradation stays sound" `Quick
+            test_quantify_pqe_budget_degradation;
+        ] );
+      ( "selector",
+        [
+          Alcotest.test_case "deterministic on families" `Quick
+            test_selector_deterministic_on_families;
+          Alcotest.test_case "pinned decisions" `Quick test_selector_pinned;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest (backend_matches_shannon Cbq.Quantify.Circuit);
+          QCheck_alcotest.to_alcotest (backend_matches_shannon Cbq.Quantify.Pqe);
+          QCheck_alcotest.to_alcotest (backend_matches_shannon Cbq.Quantify.Auto);
+          QCheck_alcotest.to_alcotest all_backends_agree;
+        ] );
+    ]

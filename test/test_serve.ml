@@ -27,9 +27,10 @@ let frozen name param =
   let model, _ = Circuits.Registry.build name (Some param) in
   (Netlist.Model.name model, Netlist.Aiger.write model)
 
-let spec ?(engine = "cbq-bwd") ?(budget = Serve.Protocol.no_budget) ~tag name param =
+let spec ?(engine = "cbq-bwd") ?(budget = Serve.Protocol.no_budget) ?quantify_backend ~tag
+    name param =
   let model_name, aig = frozen name param in
-  { Serve.Client.tag; model_name; aig; engine; budget }
+  { Serve.Client.tag; model_name; aig; engine; budget; quantify_backend }
 
 let with_server ?jobs ?ceiling ?store f =
   with_dir @@ fun dir ->
@@ -65,6 +66,7 @@ let requests_roundtrip () =
           aig = "aag 0 0 0 1 0\n1\n";
           engine = "bmc";
           budget;
+          quantify_backend = None;
         };
       Serve.Protocol.Submit
         {
@@ -73,6 +75,7 @@ let requests_roundtrip () =
           aig = "x";
           engine = "cbq-bwd";
           budget = Serve.Protocol.no_budget;
+          quantify_backend = Some "pqe";
         };
       Serve.Protocol.Cancel { id = 42 };
       Serve.Protocol.Ping;
@@ -221,12 +224,23 @@ let submit_rejections () =
   (match
      Serve.Client.submit_wait c
        { Serve.Client.tag = "b"; model_name = "junk"; aig = "aag junk"; engine = "bmc";
-         budget = Serve.Protocol.no_budget }
+         budget = Serve.Protocol.no_budget; quantify_backend = None }
    with
   | Serve.Client.Refused _ -> ()
   | _ -> Alcotest.fail "unparsable AIGER must be refused");
-  (* the same connection still works *)
-  match Serve.Client.submit_wait c (spec ~tag:"c" ~engine:"bmc" "counter" 2) with
+  (match
+     Serve.Client.submit_wait c (spec ~quantify_backend:"warp" ~tag:"q" "counter" 2)
+   with
+  | Serve.Client.Refused { reason } ->
+    check bool "reason names the backend" true
+      (String.length reason > 0
+      && String.lowercase_ascii reason |> fun s ->
+         String.length s >= 7 && String.sub s 0 7 = "unknown")
+  | _ -> Alcotest.fail "unknown quantify backend must be refused");
+  (* the same connection still works, per-job backend override included *)
+  match
+    Serve.Client.submit_wait c (spec ~tag:"c" ~quantify_backend:"auto" "counter" 2)
+  with
   | Serve.Client.Finished { verdict = Baselines.Verdict.Falsified 3; _ } -> ()
   | _ -> Alcotest.fail "valid submit after rejections must still run"
 
@@ -249,6 +263,7 @@ let explicit_cancel () =
          aig = s.Serve.Client.aig;
          engine = s.Serve.Client.engine;
          budget = s.Serve.Client.budget;
+         quantify_backend = None;
        });
   let id =
     match Serve.Client.recv c with
@@ -293,6 +308,7 @@ let disconnect_cancels () =
          aig = s.Serve.Client.aig;
          engine = s.Serve.Client.engine;
          budget = s.Serve.Client.budget;
+         quantify_backend = None;
        });
   (match Serve.Client.recv c with
   | Some (Serve.Protocol.Accepted _) -> ()
